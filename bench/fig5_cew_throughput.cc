@@ -1,0 +1,59 @@
+// Figure 5 — "Number of threads vs throughput": the same Closed Economy
+// Workload runs as Figure 4 (non-transactional local store behind the
+// loopback-HTTP hop), reporting throughput for 1..16 client threads.
+//
+// Expected shape (paper §V-C): near-linear increase in throughput with
+// thread count (about 8k ops/s at 16 threads on their MacBook Air; absolute
+// numbers depend on the injected latency profile).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ycsbt;
+
+int main(int argc, char** argv) {
+  bool full = bench::FullMode(argc, argv);
+  bench::Banner("Figure 5: CEW throughput vs client threads (non-transactional)",
+                "Fig. 5, Section V-C", full);
+
+  const uint64_t records = full ? 10000 : 500;
+  // Ops scale with threads so every point runs a similar wall-clock time
+  // (the paper used 1M ops at 16 threads).
+  const uint64_t ops_per_thread = full ? 62500 : 3000;
+  const double latency_median = full ? 1450.0 : 400.0;
+  const double latency_floor = full ? 1150.0 : 250.0;
+  const int thread_counts[] = {1, 2, 4, 8, 16};
+
+  std::printf("\n%8s %14s %14s %12s\n", "threads", "ops/s", "speedup",
+              "read p95(us)");
+  double base_throughput = 0.0;
+  for (int threads : thread_counts) {
+    Properties p;
+    p.Set("db", "rawhttp");
+    p.Set("rawhttp.latency_median_us", std::to_string(latency_median));
+    p.Set("rawhttp.latency_floor_us", std::to_string(latency_floor));
+    p.Set("workload", "closed_economy");
+    p.Set("recordcount", std::to_string(records));
+    p.Set("totalcash", std::to_string(records * 1000));
+    p.Set("requestdistribution", "zipfian");
+    p.Set("readproportion", "0.9");
+    p.Set("readmodifywriteproportion", "0.1");
+    p.Set("operationcount",
+          std::to_string(ops_per_thread * static_cast<uint64_t>(threads)));
+    p.Set("threads", std::to_string(threads));
+    p.Set("loadthreads", "8");
+    core::RunResult r = bench::MustRun(p);
+    if (threads == 1) base_throughput = r.throughput_ops_sec;
+    int64_t read_p95 = 0;
+    for (const auto& op : r.op_stats) {
+      if (op.name == "READ") read_p95 = op.p95_latency_us;
+    }
+    std::printf("%8d %14.1f %13.2fx %12lld\n", threads, r.throughput_ops_sec,
+                base_throughput > 0 ? r.throughput_ops_sec / base_throughput : 0.0,
+                static_cast<long long>(read_p95));
+  }
+  std::printf("\npaper reference: near-linear scaling 1 -> 16 threads "
+              "(~8024 ops/s at 16 threads on their hardware).\n");
+  return 0;
+}

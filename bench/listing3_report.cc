@@ -1,0 +1,51 @@
+// Listing 3 — the full CEW measurement report: runs the Closed Economy
+// Workload with 16 client threads against the RawHttpDB setup (paper
+// Listing 1's command line) and emits the complete YCSB+T text report:
+// validation verdict, TOTAL/COUNTED CASH, ANOMALY SCORE, and the
+// per-operation latency series including START/COMMIT and TX-*.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "measurement/exporter.h"
+
+using namespace ycsbt;
+
+int main(int argc, char** argv) {
+  bool full = bench::FullMode(argc, argv);
+  bench::Banner("Listing 3: full CEW measurement report (16 threads, RawHttpDB)",
+                "Listing 3, Section V-C", full);
+
+  Properties p;
+  p.Set("db", "rawhttp");
+  p.Set("workload", "closed_economy");
+  p.Set("recordcount", full ? "10000" : "1000");
+  p.Set("totalcash", full ? "10000000" : "1000000");
+  p.Set("operationcount", full ? "1000000" : "40000");
+  p.Set("requestdistribution", "zipfian");
+  p.Set("readproportion", "0.9");
+  p.Set("readmodifywriteproportion", "0.1");
+  p.Set("threads", "16");
+  p.Set("loadthreads", "8");
+  if (!full) {
+    p.Set("rawhttp.latency_median_us", "300");
+    p.Set("rawhttp.latency_floor_us", "200");
+  }
+
+  std::printf("\nYCSB+T Client 0.1 (C++)\n");
+  std::printf("Command line (equivalent): -db rawhttp "
+              "-P workloads/closed_economy.properties -threads 16 -t\n");
+  std::printf("Loading workload...\nStarting test.\n");
+
+  core::RunResult result;
+  std::string report;
+  Status s = core::RunBenchmark(p, &result, &report);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report.c_str());
+  std::printf("\npaper reference: Listing 3 shows the same report structure "
+              "with an anomaly score of 2.9e-5 over 1M operations.\n");
+  return 0;
+}

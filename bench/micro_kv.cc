@@ -1,0 +1,104 @@
+// Microbenchmarks of the local storage engine (google-benchmark): point
+// operations, conditional writes, scans, and the WAL's overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "kv/store.h"
+
+namespace {
+
+using namespace ycsbt;
+
+std::string Key(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_StorePut(benchmark::State& state) {
+  kv::ShardedStore store;
+  std::string value(100, 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(Key(i++ % 100000), value));
+  }
+}
+BENCHMARK(BM_StorePut);
+
+void BM_StoreGet(benchmark::State& state) {
+  kv::ShardedStore store;
+  std::string value(100, 'x');
+  for (uint64_t i = 0; i < 100000; ++i) store.Put(Key(i), value);
+  std::string out;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get(Key(i++ % 100000), &out));
+  }
+}
+BENCHMARK(BM_StoreGet);
+
+void BM_StoreConditionalPut(benchmark::State& state) {
+  kv::ShardedStore store;
+  std::string value(100, 'x');
+  uint64_t etag = 0;
+  store.Put(Key(0), value, &etag);
+  for (auto _ : state) {
+    store.ConditionalPut(Key(0), value, etag, &etag);
+  }
+}
+BENCHMARK(BM_StoreConditionalPut);
+
+void BM_StoreScan(benchmark::State& state) {
+  kv::ShardedStore store;
+  std::string value(100, 'x');
+  for (uint64_t i = 0; i < 10000; ++i) store.Put(Key(i), value);
+  std::vector<kv::ScanEntry> out;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    store.Scan(Key((i++ * 97) % 9000), static_cast<size_t>(state.range(0)), &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_StoreScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_StorePutWithWal(benchmark::State& state) {
+  std::string wal = "/tmp/ycsbt_bench_wal.log";
+  std::remove(wal.c_str());
+  kv::StoreOptions options;
+  options.wal_path = wal;
+  options.sync_wal = state.range(0) != 0;
+  kv::ShardedStore store(options);
+  if (!store.Open().ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  std::string value(100, 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(Key(i++ % 10000), value));
+  }
+  std::remove(wal.c_str());
+}
+// 0 = buffered WAL, 1 = fdatasync per write (the paper's latency-vs-
+// durability trade-off, Section II-A).
+BENCHMARK(BM_StorePutWithWal)->Arg(0)->Arg(1);
+
+void BM_ShardCountEffect(benchmark::State& state) {
+  kv::StoreOptions options;
+  options.num_shards = static_cast<int>(state.range(0));
+  kv::ShardedStore store(options);
+  std::string value(100, 'x');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(Key(i++ % 100000), value));
+  }
+}
+BENCHMARK(BM_ShardCountEffect)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

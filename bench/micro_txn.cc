@@ -1,0 +1,132 @@
+// Microbenchmarks of the transaction layer (google-benchmark): commit-path
+// cost by write-set size, read cost, codec cost, and the 2PL engine for
+// comparison — all on the bare local store (no latency injection), isolating
+// protocol CPU cost from network cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "txn/client_txn_store.h"
+#include "txn/local_2pl.h"
+#include "txn/record_codec.h"
+
+namespace {
+
+using namespace ycsbt;
+
+std::unique_ptr<txn::ClientTxnStore> MakeClientStore() {
+  return std::make_unique<txn::ClientTxnStore>(
+      std::make_shared<kv::ShardedStore>(),
+      std::make_shared<txn::HlcTimestampSource>());
+}
+
+void BM_TxRecordEncode(benchmark::State& state) {
+  txn::TxRecord record;
+  record.commit_ts = 123456;
+  record.value = std::string(100, 'v');
+  record.has_prev = true;
+  record.prev_commit_ts = 123000;
+  record.prev_value = std::string(100, 'p');
+  for (auto _ : state) benchmark::DoNotOptimize(txn::EncodeTxRecord(record));
+}
+BENCHMARK(BM_TxRecordEncode);
+
+void BM_TxRecordDecode(benchmark::State& state) {
+  txn::TxRecord record;
+  record.commit_ts = 123456;
+  record.value = std::string(100, 'v');
+  std::string encoded = txn::EncodeTxRecord(record);
+  txn::TxRecord out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn::DecodeTxRecord(encoded, &out));
+  }
+}
+BENCHMARK(BM_TxRecordDecode);
+
+void BM_TxnReadOnly(benchmark::State& state) {
+  auto store = MakeClientStore();
+  for (int i = 0; i < 1000; ++i) {
+    store->LoadPut("k" + std::to_string(i), std::string(100, 'x'));
+  }
+  uint64_t i = 0;
+  std::string value;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    txn->Read("k" + std::to_string(i++ % 1000), &value);
+    txn->Commit();
+  }
+}
+BENCHMARK(BM_TxnReadOnly);
+
+void BM_TxnCommitByWriteSetSize(benchmark::State& state) {
+  auto store = MakeClientStore();
+  const int keys = static_cast<int>(state.range(0));
+  for (int i = 0; i < 1000; ++i) {
+    store->LoadPut("k" + std::to_string(i), std::string(100, 'x'));
+  }
+  uint64_t round = 0;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    for (int k = 0; k < keys; ++k) {
+      txn->Write("k" + std::to_string((round * keys + k) % 1000),
+                 std::string(100, 'y'));
+    }
+    benchmark::DoNotOptimize(txn->Commit());
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_TxnCommitByWriteSetSize)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_TxnTransfer(benchmark::State& state) {
+  auto store = MakeClientStore();
+  store->LoadPut("a", "1000000");
+  store->LoadPut("b", "1000000");
+  std::string va, vb;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    txn->Read("a", &va);
+    txn->Read("b", &vb);
+    txn->Write("a", std::to_string(std::stoll(va) - 1));
+    txn->Write("b", std::to_string(std::stoll(vb) + 1));
+    benchmark::DoNotOptimize(txn->Commit());
+  }
+}
+BENCHMARK(BM_TxnTransfer);
+
+void BM_2PLTransfer(benchmark::State& state) {
+  auto store = std::make_unique<txn::Local2PLStore>(
+      std::make_shared<kv::ShardedStore>());
+  store->LoadPut("a", "1000000");
+  store->LoadPut("b", "1000000");
+  std::string va, vb;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    txn->Read("a", &va);
+    txn->Read("b", &vb);
+    txn->Write("a", std::to_string(std::stoll(va) - 1));
+    txn->Write("b", std::to_string(std::stoll(vb) + 1));
+    benchmark::DoNotOptimize(txn->Commit());
+  }
+}
+BENCHMARK(BM_2PLTransfer);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  auto store = MakeClientStore();
+  for (int i = 0; i < 10000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%06d", i);
+    store->LoadPut(buf, std::string(100, 'x'));
+  }
+  std::vector<txn::TxScanEntry> rows;
+  for (auto _ : state) {
+    store->ScanCommitted("k000000", static_cast<size_t>(state.range(0)), &rows);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_SnapshotScan)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

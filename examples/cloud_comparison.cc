@@ -1,0 +1,61 @@
+// Apples-to-apples comparison of two simulated cloud stores (the paper's
+// closing claim: "YCSB+T can be used to perform an apples-to-apples
+// comparison between competing data storage solutions"): the same
+// transactional workload against the WAS-like and GCS-like profiles.
+//
+//   $ ./cloud_comparison
+
+#include <cstdio>
+
+#include "core/benchmark.h"
+
+namespace {
+
+ycsbt::Properties For(const char* db) {
+  ycsbt::Properties p;
+  p.Set("db", db);
+  // Scaled-down latencies so the example finishes in seconds; relative
+  // ordering between the profiles is preserved.
+  p.Set("cloud.latency_scale", "0.1");
+  p.Set("workload", "closed_economy");
+  p.Set("recordcount", "1000");
+  p.Set("totalcash", "1000000");
+  p.Set("operationcount", "0");
+  p.Set("maxexecutiontime", "3");
+  p.Set("requestdistribution", "zipfian");
+  p.Set("readproportion", "0.9");
+  p.Set("readmodifywriteproportion", "0.1");
+  p.Set("threads", "16");
+  p.Set("loadthreads", "16");
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Closed Economy Workload, 16 threads, transactional, against two "
+              "simulated cloud stores:\n\n");
+  std::printf("%-10s %12s %12s %14s %14s %12s\n", "store", "tx/s", "aborts%",
+              "READ avg(us)", "COMMIT avg(us)", "consistent");
+
+  for (const char* db : {"txn+was", "txn+gcs"}) {
+    ycsbt::core::RunResult r;
+    ycsbt::Status s = ycsbt::core::RunBenchmark(For(db), &r);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", db, s.ToString().c_str());
+      return 1;
+    }
+    double read_avg = 0, commit_avg = 0;
+    for (const auto& op : r.op_stats) {
+      if (op.name == "READ") read_avg = op.average_latency_us;
+      if (op.name == "COMMIT") commit_avg = op.average_latency_us;
+    }
+    std::printf("%-10s %12.1f %11.2f%% %14.0f %14.0f %12s\n", db,
+                r.throughput_ops_sec, r.abort_rate() * 100.0, read_avg,
+                commit_avg, r.validation.passed ? "yes" : "NO");
+  }
+  std::printf("\nBoth stores pass Tier-6 validation (the transaction library "
+              "protects the invariant);\nthe profiles differ in throughput and "
+              "latency — exactly the comparison the paper envisages.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Quickstart: run a standard YCSB workload (workload A: 50/50 read/update,
+// zipfian) against the bundled in-memory storage engine and print the
+// measurement report.
+//
+//   $ ./quickstart
+//
+// This is the smallest complete use of the library: configure via
+// Properties, call RunBenchmark, read RunResult.
+
+#include <cstdio>
+
+#include "core/benchmark.h"
+
+int main() {
+  ycsbt::Properties props;
+  props.Set("db", "memkv");             // the local storage engine
+  props.Set("workload", "core");        // YCSB CoreWorkload
+  props.Set("recordcount", "10000");    // workload A parameters
+  props.Set("operationcount", "100000");
+  props.Set("readproportion", "0.5");
+  props.Set("updateproportion", "0.5");
+  props.Set("requestdistribution", "zipfian");
+  props.Set("threads", "4");
+
+  ycsbt::core::RunResult result;
+  std::string report;
+  ycsbt::Status status = ycsbt::core::RunBenchmark(props, &result, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", report.c_str());
+  std::printf("ran %llu operations at %.0f ops/sec\n",
+              static_cast<unsigned long long>(result.operations),
+              result.throughput_ops_sec);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "common/latency_model.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace ycsbt {
+
+void SleepMicros(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+uint64_t LatencyModel::SampleMicros(Random64& rng) const {
+  if (!Enabled()) return 0;
+  // Box-Muller from two uniforms; one normal deviate per sample is fine here.
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  if (u1 <= 0.0) u1 = 1e-12;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  double latency = median_micros_ * std::exp(sigma_ * z);
+  if (latency < floor_micros_) latency = floor_micros_;
+  return static_cast<uint64_t>(latency);
+}
+
+void LatencyModel::Inject(Random64& rng) const {
+  SleepMicros(SampleMicros(rng));
+}
+
+}  // namespace ycsbt

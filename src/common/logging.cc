@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ycsbt {
+namespace logging {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void Write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace logging
+}  // namespace ycsbt

@@ -1,0 +1,45 @@
+#ifndef YCSBT_COMMON_LOGGING_H_
+#define YCSBT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ycsbt {
+
+/// Severity levels for the framework logger.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Minimal thread-safe leveled logger writing to stderr.
+///
+/// The benchmark client is itself a measurement instrument, so logging stays
+/// out of hot paths; modules log configuration at Info and unexpected
+/// conditions at Warn/Error.  The level can be raised to silence benches.
+namespace logging {
+
+/// Sets the minimum level that will be emitted.
+void SetLevel(LogLevel level);
+LogLevel GetLevel();
+
+/// Emits one line (used by the YCSBT_LOG macro; prefer the macro).
+void Write(LogLevel level, const std::string& msg);
+
+}  // namespace logging
+
+#define YCSBT_LOG(level, expr)                                          \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::ycsbt::logging::GetLevel())) {               \
+      std::ostringstream ycsbt_log_stream_;                             \
+      ycsbt_log_stream_ << expr;                                        \
+      ::ycsbt::logging::Write(level, ycsbt_log_stream_.str());          \
+    }                                                                   \
+  } while (0)
+
+#define YCSBT_DEBUG(expr) YCSBT_LOG(::ycsbt::LogLevel::kDebug, expr)
+#define YCSBT_INFO(expr) YCSBT_LOG(::ycsbt::LogLevel::kInfo, expr)
+#define YCSBT_WARN(expr) YCSBT_LOG(::ycsbt::LogLevel::kWarn, expr)
+#define YCSBT_ERROR(expr) YCSBT_LOG(::ycsbt::LogLevel::kError, expr)
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_LOGGING_H_

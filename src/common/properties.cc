@@ -1,0 +1,151 @@
+#include "common/properties.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ycsbt {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+void Properties::Set(std::string key, std::string value) {
+  map_[std::move(key)] = std::move(value);
+}
+
+Status Properties::LoadFromString(std::string_view text) {
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        nl == std::string_view::npos ? text.substr(pos) : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == '!') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("properties line " + std::to_string(lineno) +
+                                     " has no '=': " + std::string(line));
+    }
+    Set(std::string(Trim(line.substr(0, eq))), std::string(Trim(line.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+Status Properties::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open properties file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadFromString(buf.str());
+}
+
+bool Properties::Contains(const std::string& key) const {
+  return map_.find(key) != map_.end();
+}
+
+std::string Properties::Get(const std::string& key, const std::string& def) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? def : it->second;
+}
+
+int64_t Properties::GetInt(const std::string& key, int64_t def) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return def;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+uint64_t Properties::GetUint(const std::string& key, uint64_t def) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return def;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+double Properties::GetDouble(const std::string& key, double def) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return def;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+bool Properties::GetBool(const std::string& key, bool def) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return def;
+  std::string v = ToLower(Trim(it->second));
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return def;
+}
+
+Status Properties::CheckedGetInt(const std::string& key, int64_t def,
+                                 int64_t* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    *out = def;
+    return Status::OK();
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("property '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+std::vector<std::string> Properties::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, v] : map_) keys.push_back(k);
+  return keys;
+}
+
+void Properties::Merge(const Properties& other) {
+  for (const auto& [k, v] : other.map_) map_[k] = v;
+}
+
+std::string Properties::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : map_) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,16 @@
+#include "common/random.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace ycsbt {
+
+Random64& ThreadLocalRandom() {
+  thread_local Random64 rng(
+      SteadyNanos() ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) * 0x9E3779B97F4A7C15ull));
+  return rng;
+}
+
+}  // namespace ycsbt

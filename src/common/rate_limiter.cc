@@ -1,0 +1,42 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace ycsbt {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate),
+      burst_(burst > 0.0 ? burst : std::max(rate, 1.0)),
+      available_(burst_),
+      last_refill_nanos_(SteadyNanos()) {}
+
+void TokenBucket::Refill(uint64_t now_nanos) {
+  if (now_nanos <= last_refill_nanos_) return;
+  double elapsed = static_cast<double>(now_nanos - last_refill_nanos_) / 1e9;
+  available_ = std::min(burst_, available_ + elapsed * rate_);
+  last_refill_nanos_ = now_nanos;
+}
+
+bool TokenBucket::TryAcquire(double tokens) {
+  if (Unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill(SteadyNanos());
+  if (available_ >= tokens) {
+    available_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+uint64_t TokenBucket::AcquireDelayNanos(double tokens) {
+  if (Unlimited()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill(SteadyNanos());
+  available_ -= tokens;  // may go negative: debt expressed as wait time
+  if (available_ >= 0.0) return 0;
+  return static_cast<uint64_t>(-available_ / rate_ * 1e9);
+}
+
+}  // namespace ycsbt

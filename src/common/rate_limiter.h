@@ -1,0 +1,52 @@
+#ifndef YCSBT_COMMON_RATE_LIMITER_H_
+#define YCSBT_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace ycsbt {
+
+/// Token-bucket rate limiter.
+///
+/// Two users in this codebase:
+///  - the simulated cloud stores cap each storage container's request rate
+///    (the mechanism behind the Fig 2 throughput plateau at 32 threads), and
+///  - the client threads throttle to a target ops/sec when the
+///    `target` property is set, as in YCSB.
+///
+/// `TryAcquire` is non-blocking (used by the cloud simulator, which turns a
+/// refusal into an HTTP-503-style `RateLimited` status); `AcquireDelayNanos`
+/// returns how long the caller must wait for the token instead, which the
+/// client throttler sleeps on.
+class TokenBucket {
+ public:
+  /// @param rate tokens per second; <= 0 means unlimited.
+  /// @param burst bucket capacity; defaults to one second's worth of tokens.
+  explicit TokenBucket(double rate, double burst = -1.0);
+
+  /// True if a token was available and has been consumed.
+  bool TryAcquire(double tokens = 1.0);
+
+  /// Consumes a token unconditionally and returns the number of nanoseconds
+  /// the caller should sleep so the long-run rate matches the target
+  /// (0 when the bucket had capacity).
+  uint64_t AcquireDelayNanos(double tokens = 1.0);
+
+  /// True when no rate limit is configured.
+  bool Unlimited() const { return rate_ <= 0.0; }
+
+  double rate() const { return rate_; }
+
+ private:
+  void Refill(uint64_t now_nanos);
+
+  const double rate_;
+  const double burst_;
+  double available_;
+  uint64_t last_refill_nanos_;
+  std::mutex mu_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_RATE_LIMITER_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace ycsbt {
+
+const char* Status::CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kConflict:
+      return "Conflict";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kBusy:
+      return "Busy";
+    case Code::kRateLimited:
+      return "RateLimited";
+    case Code::kTimeout:
+      return "Timeout";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kIOError:
+      return "IOError";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName();
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,111 @@
+#ifndef YCSBT_COMMON_STATUS_H_
+#define YCSBT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace ycsbt {
+
+/// Result of an operation that can fail.
+///
+/// YCSB+T modules never throw across module boundaries; every fallible
+/// operation returns a `Status` (RocksDB style).  A `Status` carries a
+/// machine-checkable code plus an optional human-readable message.
+///
+/// The codes mirror the situations that arise in a transactional key-value
+/// benchmark: `kConflict` for failed conditional writes (etag mismatch),
+/// `kAborted` for transactions rolled back by the concurrency-control layer,
+/// `kRateLimited` for simulated cloud-store throttling (HTTP 503), and so on.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,         ///< Key or record does not exist.
+    kAlreadyExists,    ///< Insert of a key that is already present.
+    kConflict,         ///< Conditional write lost (etag/version mismatch).
+    kAborted,          ///< Transaction aborted; the caller may retry.
+    kBusy,             ///< Lock held by another transaction; retryable.
+    kRateLimited,      ///< Simulated cloud throttle (HTTP 503 analogue).
+    kTimeout,          ///< Operation exceeded its deadline.
+    kInvalidArgument,  ///< Malformed request or configuration.
+    kNotSupported,     ///< Operation not implemented by this binding.
+    kIOError,          ///< WAL or file-system failure.
+    kCorruption,       ///< Checksum mismatch or malformed on-disk record.
+    kInternal,         ///< Invariant violation inside a module.
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view m = "") { return Make(Code::kNotFound, m); }
+  static Status AlreadyExists(std::string_view m = "") {
+    return Make(Code::kAlreadyExists, m);
+  }
+  static Status Conflict(std::string_view m = "") { return Make(Code::kConflict, m); }
+  static Status Aborted(std::string_view m = "") { return Make(Code::kAborted, m); }
+  static Status Busy(std::string_view m = "") { return Make(Code::kBusy, m); }
+  static Status RateLimited(std::string_view m = "") {
+    return Make(Code::kRateLimited, m);
+  }
+  static Status Timeout(std::string_view m = "") { return Make(Code::kTimeout, m); }
+  static Status InvalidArgument(std::string_view m = "") {
+    return Make(Code::kInvalidArgument, m);
+  }
+  static Status NotSupported(std::string_view m = "") {
+    return Make(Code::kNotSupported, m);
+  }
+  static Status IOError(std::string_view m = "") { return Make(Code::kIOError, m); }
+  static Status Corruption(std::string_view m = "") {
+    return Make(Code::kCorruption, m);
+  }
+  static Status Internal(std::string_view m = "") { return Make(Code::kInternal, m); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsRateLimited() const { return code_ == Code::kRateLimited; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// True for failures that a transaction retry loop may reasonably retry:
+  /// conflicts, aborts, lock-busy and throttling.
+  bool IsRetryable() const {
+    return code_ == Code::kConflict || code_ == Code::kAborted ||
+           code_ == Code::kBusy || code_ == Code::kRateLimited ||
+           code_ == Code::kTimeout;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Short name of the code, e.g. "NotFound".
+  const char* CodeName() const { return CodeName(code_); }
+  static const char* CodeName(Code code);
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  static Status Make(Code code, std::string_view m) {
+    return Status(code, std::string(m));
+  }
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef YCSBT_COMMON_SYNC_H_
+#define YCSBT_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ycsbt {
+
+/// One-shot latch: client threads block on it until the workload executor
+/// releases them all at once, so per-thread warm-up cost does not skew the
+/// measured interval.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int64_t count) : count_(count) {}
+
+  /// Decrements the count; releases waiters when it reaches zero.
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the count reaches zero.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  int64_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_SYNC_H_

@@ -1,0 +1,37 @@
+#ifndef YCSBT_CORE_BENCHMARK_H_
+#define YCSBT_CORE_BENCHMARK_H_
+
+#include <string>
+
+#include "core/runner.h"
+
+namespace ycsbt {
+namespace core {
+
+/// One-call benchmark driver: builds the DB factory and workload from
+/// properties, loads, runs, validates, and renders the Listing-3 text
+/// report.  The properties consumed here (on top of the DB/workload ones):
+///
+///   threads            client threads of the transaction phase (default 1)
+///   loadthreads        client threads of the load phase (default: threads)
+///   operationcount     total transactions (default 1000; 0 = time-bounded)
+///   maxexecutiontime   seconds; 0 = unbounded (YCSB property name)
+///   target             aggregate target ops/sec; 0 = unthrottled
+///   dotransactions     wrap operations in Start/Commit/Abort (default true)
+///   status.interval    seconds between progress log lines (0 = off)
+///   loadwrapped        wrap load-phase inserts too (default false)
+///   skipload           reuse an already-loaded factory (default false)
+///
+/// `report` (optional) receives the full text export.
+Status RunBenchmark(const Properties& props, RunResult* result,
+                    std::string* report = nullptr);
+
+/// Same, but against a caller-provided factory (so several runs can share or
+/// inspect one substrate).  The factory must already be Init()ed.
+Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
+                               RunResult* result, std::string* report = nullptr);
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_BENCHMARK_H_

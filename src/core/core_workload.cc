@@ -1,0 +1,294 @@
+#include "core/core_workload.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "generator/exponential_generator.h"
+#include "generator/hotspot_generator.h"
+#include "generator/scrambled_zipfian_generator.h"
+#include "generator/sequential_generator.h"
+#include "generator/skewed_latest_generator.h"
+#include "generator/uniform_generator.h"
+#include "generator/zipfian_generator.h"
+
+namespace ycsbt {
+namespace core {
+
+Status CoreWorkload::Init(const Properties& props) {
+  InitSeed(props);
+  table_ = props.Get("table", "usertable");
+  record_count_ = props.GetUint("recordcount", 1000);
+  if (record_count_ == 0) return Status::InvalidArgument("recordcount must be > 0");
+  field_count_ = static_cast<int>(props.GetInt("fieldcount", 10));
+  field_prefix_ = props.Get("fieldnameprefix", "field");
+  field_length_ = props.GetUint("fieldlength", 100);
+  min_field_length_ = props.GetUint("minfieldlength", 1);
+  field_length_dist_ = props.Get("fieldlengthdistribution", "constant");
+  read_all_fields_ = props.GetBool("readallfields", true);
+  write_all_fields_ = props.GetBool("writeallfields", false);
+  ordered_inserts_ = props.Get("insertorder", "hashed") == "ordered";
+  data_integrity_ = props.GetBool("dataintegrity", false);
+  zero_padding_ = static_cast<int>(props.GetInt("zeropadding", 1));
+  insert_start_ = props.GetUint("insertstart", 0);
+  insert_count_ = props.GetUint("insertcount", record_count_);
+
+  field_names_.clear();
+  for (int i = 0; i < field_count_; ++i) {
+    field_names_.push_back(field_prefix_ + std::to_string(i));
+  }
+
+  if (field_length_dist_ == "constant") {
+    field_length_generator_ =
+        std::make_unique<ConstantGenerator<uint64_t>>(field_length_);
+  } else if (field_length_dist_ == "uniform") {
+    field_length_generator_ =
+        std::make_unique<UniformLongGenerator>(min_field_length_, field_length_);
+  } else if (field_length_dist_ == "zipfian") {
+    field_length_generator_ = std::make_unique<ZipfianGenerator>(
+        min_field_length_, field_length_);
+  } else {
+    return Status::InvalidArgument("unknown fieldlengthdistribution: " +
+                                   field_length_dist_);
+  }
+  if (data_integrity_ && field_length_dist_ != "constant") {
+    // Deterministic re-derivation needs a deterministic length (as in YCSB).
+    return Status::InvalidArgument(
+        "dataintegrity=true requires fieldlengthdistribution=constant");
+  }
+
+  double read_prop = props.GetDouble("readproportion", 0.95);
+  double update_prop = props.GetDouble("updateproportion", 0.05);
+  double insert_prop = props.GetDouble("insertproportion", 0.0);
+  double scan_prop = props.GetDouble("scanproportion", 0.0);
+  double rmw_prop = props.GetDouble("readmodifywriteproportion", 0.0);
+  double delete_prop = props.GetDouble("deleteproportion", 0.0);
+  op_chooser_ = DiscreteGenerator<const char*>();
+  if (read_prop > 0) op_chooser_.AddValue(txop::kRead, read_prop);
+  if (update_prop > 0) op_chooser_.AddValue(txop::kUpdate, update_prop);
+  if (insert_prop > 0) op_chooser_.AddValue(txop::kInsert, insert_prop);
+  if (scan_prop > 0) op_chooser_.AddValue(txop::kScan, scan_prop);
+  if (rmw_prop > 0) op_chooser_.AddValue(txop::kReadModifyWrite, rmw_prop);
+  if (delete_prop > 0) op_chooser_.AddValue(txop::kDelete, delete_prop);
+  if (op_chooser_.Empty()) {
+    return Status::InvalidArgument("all operation proportions are zero");
+  }
+
+  uint64_t last_initial_key = insert_start_ + insert_count_ - 1;
+  load_sequence_ = std::make_unique<CounterGenerator>(insert_start_);
+  insert_sequence_ =
+      std::make_unique<AcknowledgedCounterGenerator>(last_initial_key + 1);
+
+  std::string request_dist = props.Get("requestdistribution", "uniform");
+  if (request_dist == "uniform") {
+    key_chooser_ =
+        std::make_unique<UniformLongGenerator>(insert_start_, last_initial_key);
+  } else if (request_dist == "zipfian") {
+    if (props.Contains("zipfian.theta")) {
+      // Explicit skew sweep (ablation benches): plain zipfian with the given
+      // theta.  Hot keys cluster at low key numbers, which is fine for
+      // contention studies.
+      key_chooser_ = std::make_unique<ZipfianGenerator>(
+          insert_start_, last_initial_key,
+          props.GetDouble("zipfian.theta", ZipfianGenerator::kDefaultTheta));
+    } else {
+      // Inserts during the run expand the key space; size the zipfian
+      // universe with the same headroom YCSB uses so new keys stay reachable.
+      uint64_t expected_new = static_cast<uint64_t>(
+          2.0 * props.GetDouble("insertproportion", 0.0) *
+          static_cast<double>(props.GetUint("operationcount", insert_count_)));
+      uint64_t universe = insert_count_ + std::max<uint64_t>(expected_new, 0);
+      key_chooser_ = std::make_unique<ScrambledZipfianGenerator>(
+          insert_start_, insert_start_ + universe - 1);
+    }
+  } else if (request_dist == "latest") {
+    key_chooser_ = std::make_unique<SkewedLatestGenerator>(insert_sequence_.get());
+  } else if (request_dist == "hotspot") {
+    double data_fraction = props.GetDouble("hotspotdatafraction", 0.2);
+    double opn_fraction = props.GetDouble("hotspotopnfraction", 0.8);
+    key_chooser_ = std::make_unique<HotspotIntegerGenerator>(
+        insert_start_, last_initial_key, data_fraction, opn_fraction);
+  } else if (request_dist == "sequential") {
+    key_chooser_ =
+        std::make_unique<SequentialGenerator>(insert_start_, last_initial_key);
+  } else if (request_dist == "exponential") {
+    double percentile =
+        props.GetDouble("exponential.percentile", ExponentialGenerator::kDefaultPercentile);
+    double frac = props.GetDouble("exponential.frac", 0.8571);
+    key_chooser_ = std::make_unique<ExponentialGenerator>(
+        percentile, static_cast<double>(record_count_) * frac);
+  } else {
+    return Status::InvalidArgument("unknown requestdistribution: " + request_dist);
+  }
+
+  uint64_t max_scan_length = props.GetUint("maxscanlength", 1000);
+  std::string scan_length_dist = props.Get("scanlengthdistribution", "uniform");
+  if (scan_length_dist == "uniform") {
+    scan_length_chooser_ = std::make_unique<UniformLongGenerator>(1, max_scan_length);
+  } else if (scan_length_dist == "zipfian") {
+    scan_length_chooser_ = std::make_unique<ZipfianGenerator>(1, max_scan_length);
+  } else {
+    return Status::InvalidArgument("unknown scanlengthdistribution: " +
+                                   scan_length_dist);
+  }
+
+  return Status::OK();
+}
+
+std::string CoreWorkload::BuildKeyName(uint64_t key_num) const {
+  if (!ordered_inserts_) key_num = FNVHash64(key_num);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*" PRIu64, zero_padding_, key_num);
+  return "user" + std::string(buf);
+}
+
+size_t CoreWorkload::NextFieldLength(Random64& rng) {
+  return static_cast<size_t>(field_length_generator_->Next(rng));
+}
+
+std::string CoreWorkload::RandomString(Random64& rng, size_t length) const {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string CoreWorkload::DeterministicValue(const std::string& key,
+                                             const std::string& field) const {
+  // Seed a private stream from the key and field so the expected value can
+  // be re-derived by any reader (YCSB's data-integrity construction).
+  uint64_t seed = FNVHash64(std::hash<std::string>{}(key)) ^
+                  std::hash<std::string>{}(field);
+  Random64 rng(seed);
+  return RandomString(rng, field_length_);
+}
+
+bool CoreWorkload::VerifyRecord(const std::string& key, const FieldMap& record) {
+  if (!data_integrity_) return true;
+  bool clean = !record.empty();
+  for (const auto& [name, value] : record) {
+    if (value != DeterministicValue(key, name)) {
+      clean = false;
+      break;
+    }
+  }
+  if (!clean) integrity_errors_.fetch_add(1, std::memory_order_relaxed);
+  return clean;
+}
+
+FieldMap CoreWorkload::BuildValues(Random64& rng, const std::string& key) {
+  FieldMap values;
+  for (const auto& name : field_names_) {
+    values[name] = data_integrity_ ? DeterministicValue(key, name)
+                                   : RandomString(rng, NextFieldLength(rng));
+  }
+  return values;
+}
+
+FieldMap CoreWorkload::BuildUpdate(Random64& rng, const std::string& key) {
+  if (write_all_fields_) return BuildValues(rng, key);
+  FieldMap values;
+  const std::string& name =
+      field_names_[rng.Uniform(field_names_.size())];
+  values[name] = data_integrity_ ? DeterministicValue(key, name)
+                                 : RandomString(rng, NextFieldLength(rng));
+  return values;
+}
+
+uint64_t CoreWorkload::NextKeyNum(Random64& rng) {
+  uint64_t limit = insert_sequence_->Last();
+  uint64_t key_num;
+  do {
+    key_num = key_chooser_->Next(rng);
+  } while (key_num > limit);
+  return key_num;
+}
+
+bool CoreWorkload::DoInsert(DB& db, ThreadState* state) {
+  uint64_t key_num = load_sequence_->Next(state->rng);
+  std::string key = BuildKeyName(key_num);
+  FieldMap values = BuildValues(state->rng, key);
+  return db.Insert(table_, key, values).ok();
+}
+
+TxnOpResult CoreWorkload::DoTransaction(DB& db, ThreadState* state) {
+  const char* op = op_chooser_.Next(state->rng);
+  TxnOpResult result;
+  result.op = op;
+  if (op == txop::kRead) {
+    result.ok = DoTransactionRead(db, state);
+  } else if (op == txop::kUpdate) {
+    result.ok = DoTransactionUpdate(db, state);
+  } else if (op == txop::kInsert) {
+    result.ok = DoTransactionInsert(db, state);
+  } else if (op == txop::kScan) {
+    result.ok = DoTransactionScan(db, state);
+  } else if (op == txop::kDelete) {
+    result.ok = DoTransactionDelete(db, state);
+  } else {
+    result.ok = DoTransactionReadModifyWrite(db, state);
+  }
+  return result;
+}
+
+bool CoreWorkload::DoTransactionRead(DB& db, ThreadState* state) {
+  std::string key = BuildKeyName(NextKeyNum(state->rng));
+  FieldMap result;
+  Status s;
+  if (read_all_fields_) {
+    s = db.Read(table_, key, nullptr, &result);
+  } else {
+    std::vector<std::string> fields = {
+        field_names_[state->rng.Uniform(field_names_.size())]};
+    s = db.Read(table_, key, &fields, &result);
+  }
+  if (!s.ok()) return false;
+  return VerifyRecord(key, result);
+}
+
+bool CoreWorkload::DoTransactionUpdate(DB& db, ThreadState* state) {
+  std::string key = BuildKeyName(NextKeyNum(state->rng));
+  return db.Update(table_, key, BuildUpdate(state->rng, key)).ok();
+}
+
+bool CoreWorkload::DoTransactionInsert(DB& db, ThreadState* state) {
+  uint64_t key_num = insert_sequence_->Next(state->rng);
+  std::string key = BuildKeyName(key_num);
+  bool ok = db.Insert(table_, key, BuildValues(state->rng, key)).ok();
+  // Acknowledge even on failure so the window keeps sliding (YCSB behaviour).
+  insert_sequence_->Acknowledge(key_num);
+  return ok;
+}
+
+bool CoreWorkload::DoTransactionScan(DB& db, ThreadState* state) {
+  std::string key = BuildKeyName(NextKeyNum(state->rng));
+  size_t len = static_cast<size_t>(scan_length_chooser_->Next(state->rng));
+  std::vector<ScanRow> rows;
+  if (read_all_fields_) {
+    return db.Scan(table_, key, len, nullptr, &rows).ok();
+  }
+  std::vector<std::string> fields = {
+      field_names_[state->rng.Uniform(field_names_.size())]};
+  return db.Scan(table_, key, len, &fields, &rows).ok();
+}
+
+bool CoreWorkload::DoTransactionDelete(DB& db, ThreadState* state) {
+  std::string key = BuildKeyName(NextKeyNum(state->rng));
+  Status s = db.Delete(table_, key);
+  return s.ok() || s.IsNotFound();
+}
+
+bool CoreWorkload::DoTransactionReadModifyWrite(DB& db, ThreadState* state) {
+  std::string key = BuildKeyName(NextKeyNum(state->rng));
+  FieldMap result;
+  if (!db.Read(table_, key, nullptr, &result).ok()) return false;
+  if (!VerifyRecord(key, result)) return false;
+  return db.Update(table_, key, BuildUpdate(state->rng, key)).ok();
+}
+
+}  // namespace core
+}  // namespace ycsbt

@@ -1,0 +1,124 @@
+#ifndef YCSBT_CORE_CORE_WORKLOAD_H_
+#define YCSBT_CORE_CORE_WORKLOAD_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "generator/acknowledged_counter_generator.h"
+#include "generator/discrete_generator.h"
+#include "generator/generator.h"
+
+namespace ycsbt {
+namespace core {
+
+/// Workload-level operation names (the `TX-<OP>` series of Listing 3 use
+/// these, as do the proportion properties).
+namespace txop {
+inline constexpr const char kRead[] = "READ";
+inline constexpr const char kUpdate[] = "UPDATE";
+inline constexpr const char kInsert[] = "INSERT";
+inline constexpr const char kScan[] = "SCAN";
+inline constexpr const char kDelete[] = "DELETE";
+inline constexpr const char kReadModifyWrite[] = "READMODIFYWRITE";
+}  // namespace txop
+
+/// Port of YCSB's CoreWorkload: the configurable mix of read / update /
+/// insert / scan / read-modify-write (plus delete, a YCSB+T extension)
+/// operations over a table of synthetic records that realises the standard
+/// workloads A-F shipped in `workloads/`.
+///
+/// Properties honoured (YCSB names): `table`, `recordcount`, `fieldcount`,
+/// `fieldlength`, `minfieldlength`, `fieldlengthdistribution`,
+/// `readallfields`, `writeallfields`, `readproportion`, `updateproportion`,
+/// `insertproportion`, `scanproportion`, `readmodifywriteproportion`,
+/// `deleteproportion`, `requestdistribution` (uniform | zipfian | latest |
+/// hotspot | sequential | exponential), `hotspotdatafraction`,
+/// `hotspotopnfraction`, `maxscanlength`, `scanlengthdistribution`,
+/// `insertstart`, `insertcount`, `insertorder` (hashed | ordered),
+/// `zeropadding`.
+class CoreWorkload : public Workload {
+ public:
+  CoreWorkload() = default;
+
+  Status Init(const Properties& props) override;
+
+  bool DoInsert(DB& db, ThreadState* state) override;
+  TxnOpResult DoTransaction(DB& db, ThreadState* state) override;
+
+  uint64_t record_count() const override { return record_count_; }
+  const std::string& table() const { return table_; }
+
+  /// Key-number -> key-string mapping ("user<padded number>", optionally
+  /// FNV-scattered); exposed for tests and the CEW subclass.
+  std::string BuildKeyName(uint64_t key_num) const;
+
+  /// Reads detected as corrupted when `dataintegrity=true` (values are
+  /// deterministic functions of key+field, re-derived and compared on every
+  /// read — YCSB's data-integrity mode).
+  uint64_t data_integrity_errors() const {
+    return integrity_errors_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  // Individual operations, overridable by derived workloads (the paper's
+  // doTransactionRead/... methods).
+  virtual bool DoTransactionRead(DB& db, ThreadState* state);
+  virtual bool DoTransactionUpdate(DB& db, ThreadState* state);
+  virtual bool DoTransactionInsert(DB& db, ThreadState* state);
+  virtual bool DoTransactionScan(DB& db, ThreadState* state);
+  virtual bool DoTransactionDelete(DB& db, ThreadState* state);
+  virtual bool DoTransactionReadModifyWrite(DB& db, ThreadState* state);
+
+  /// Draws a key number guaranteed to be <= the highest acknowledged insert.
+  uint64_t NextKeyNum(Random64& rng);
+
+  /// Builds a full set of `fieldcount` field values for `key` (random, or
+  /// deterministic when data integrity checking is on).
+  FieldMap BuildValues(Random64& rng, const std::string& key);
+  /// Builds new value(s) for an update of `key` (one field, or all when
+  /// `writeallfields`).
+  FieldMap BuildUpdate(Random64& rng, const std::string& key);
+
+  /// The deterministic expected value of one field (dataintegrity mode).
+  std::string DeterministicValue(const std::string& key,
+                                 const std::string& field) const;
+
+  /// Verifies a read record against the deterministic expectation; counts
+  /// and returns false on mismatch.  No-op (true) when integrity is off.
+  bool VerifyRecord(const std::string& key, const FieldMap& record);
+
+  std::string RandomString(Random64& rng, size_t length) const;
+  size_t NextFieldLength(Random64& rng);
+
+  std::string table_ = "usertable";
+  uint64_t record_count_ = 0;
+  int field_count_ = 10;
+  std::string field_prefix_ = "field";
+  size_t field_length_ = 100;
+  size_t min_field_length_ = 1;
+  std::string field_length_dist_ = "constant";
+  bool read_all_fields_ = true;
+  bool write_all_fields_ = false;
+  bool data_integrity_ = false;
+  std::atomic<uint64_t> integrity_errors_{0};
+  bool ordered_inserts_ = false;
+  int zero_padding_ = 1;
+  uint64_t insert_start_ = 0;
+  uint64_t insert_count_ = 0;
+
+  DiscreteGenerator<const char*> op_chooser_;
+  std::unique_ptr<IntegerGenerator> key_chooser_;
+  std::unique_ptr<AcknowledgedCounterGenerator> insert_sequence_;
+  std::unique_ptr<CounterGenerator> load_sequence_;
+  std::unique_ptr<IntegerGenerator> scan_length_chooser_;
+  std::unique_ptr<IntegerGenerator> field_length_generator_;
+  std::vector<std::string> field_names_;
+};
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_CORE_WORKLOAD_H_

@@ -1,0 +1,240 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/latency_model.h"
+#include "common/logging.h"
+#include "common/sync.h"
+#include "db/measured_db.h"
+
+namespace ycsbt {
+namespace core {
+
+RunSummary RunResult::MakeSummary() const {
+  RunSummary summary;
+  summary.runtime_ms = runtime_ms;
+  summary.throughput_ops_sec = throughput_ops_sec;
+  summary.operations = operations;
+  summary.has_validation = validation.performed;
+  summary.validation_passed = validation.passed;
+  summary.extra = validation.report;
+  return summary;
+}
+
+namespace {
+
+/// Per-thread slice of a total budget: thread i of n gets an equal share,
+/// with the remainder spread over the first threads.
+uint64_t ShareOf(uint64_t total, int thread_id, int threads) {
+  uint64_t base = total / static_cast<uint64_t>(threads);
+  uint64_t extra = thread_id < static_cast<int>(total % threads) ? 1 : 0;
+  return base + extra;
+}
+
+}  // namespace
+
+Status WorkloadRunner::Load(const LoadOptions& options) {
+  int threads = std::max(options.threads, 1);
+  uint64_t total = workload_->record_count();
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> pool;
+  std::vector<Status> init_errors(static_cast<size_t>(threads));
+  pool.reserve(static_cast<size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto db = factory_->CreateClient();
+      if (db == nullptr || !db->Init().ok()) {
+        init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+        return;
+      }
+      auto state = workload_->InitThread(t, threads);
+      uint64_t quota = ShareOf(total, t, threads);
+      for (uint64_t i = 0; i < quota; ++i) {
+        bool ok;
+        if (options.wrap_in_transactions) {
+          db->Start();
+          ok = workload_->DoInsert(*db, state.get());
+          Status cs = ok ? db->Commit() : db->Abort();
+          ok = ok && cs.ok();
+        } else {
+          ok = workload_->DoInsert(*db, state.get());
+        }
+        if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      db->Cleanup();
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (const auto& s : init_errors) {
+    if (!s.ok()) return s;
+  }
+  if (failures.load() != 0) {
+    return Status::Internal(std::to_string(failures.load()) + " inserts failed");
+  }
+  return Status::OK();
+}
+
+Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
+  if (options.operation_count == 0 && options.max_execution_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "run needs an operation_count or max_execution_seconds");
+  }
+  int threads = std::max(options.threads, 1);
+
+  std::atomic<uint64_t> operations{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<int> finished{0};
+  std::atomic<bool> stop{false};
+  CountDownLatch start_gate(1);
+  std::vector<std::thread> pool;
+  std::vector<Status> init_errors(static_cast<size_t>(threads));
+  pool.reserve(static_cast<size_t>(threads));
+
+  double per_thread_target =
+      options.target_ops_per_sec > 0.0 ? options.target_ops_per_sec / threads : 0.0;
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto raw = factory_->CreateClient();
+      if (raw == nullptr) {
+        init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+        finished.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      MeasuredDB db(std::move(raw), measurements_);
+      if (!db.Init().ok()) {
+        init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+        finished.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      auto state = workload_->InitThread(t, threads);
+      uint64_t quota = options.operation_count == 0
+                           ? std::numeric_limits<uint64_t>::max()
+                           : ShareOf(options.operation_count, t, threads);
+
+      start_gate.Wait();
+      uint64_t interval_ns =
+          per_thread_target > 0.0 ? static_cast<uint64_t>(1e9 / per_thread_target) : 0;
+      uint64_t next_op_ns = SteadyNanos();
+
+      for (uint64_t i = 0; i < quota && !stop.load(std::memory_order_relaxed); ++i) {
+        if (interval_ns != 0) {
+          uint64_t now = SteadyNanos();
+          if (now < next_op_ns) SleepMicros((next_op_ns - now) / 1000);
+          next_op_ns += interval_ns;
+        }
+
+        Stopwatch txn_watch;
+        bool commit_ok;
+        TxnOpResult op;
+        if (options.wrap_in_transactions) {
+          // The YCSB+T client-thread protocol (paper §IV-A).
+          db.Start();
+          op = workload_->DoTransaction(db, state.get());
+          Status cs = op.ok ? db.Commit() : db.Abort();
+          commit_ok = op.ok && cs.ok();
+        } else {
+          op = workload_->DoTransaction(db, state.get());
+          commit_ok = op.ok;
+        }
+        workload_->OnTransactionOutcome(state.get(), op, commit_ok);
+
+        std::string tx_series = std::string("TX-") + op.op;
+        measurements_->Measure(tx_series,
+                               static_cast<int64_t>(txn_watch.ElapsedMicros()));
+        measurements_->ReportStatus(
+            tx_series, commit_ok ? Status::OK() : Status::Aborted());
+
+        operations.fetch_add(1, std::memory_order_relaxed);
+        if (commit_ok) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      db.Cleanup();
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch run_watch;
+  start_gate.CountDown();
+
+  // Watchdog + status thread (YCSB's status reporter): samples progress at
+  // the configured interval and flips the stop flag at the deadline.
+  {
+    double next_status = options.status_interval_seconds;
+    uint64_t last_ops = 0;
+    double last_time = 0.0;
+    while (finished.load(std::memory_order_relaxed) < threads) {
+      SleepMicros(5000);
+      double elapsed = run_watch.ElapsedSeconds();
+      if (options.max_execution_seconds > 0.0 &&
+          elapsed >= options.max_execution_seconds) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+      if (options.status_interval_seconds > 0.0 && elapsed >= next_status) {
+        uint64_t ops = operations.load(std::memory_order_relaxed);
+        double interval_rate =
+            elapsed > last_time
+                ? static_cast<double>(ops - last_ops) / (elapsed - last_time)
+                : 0.0;
+        if (options.status_callback) {
+          options.status_callback(elapsed, ops, interval_rate);
+        } else {
+          YCSBT_INFO("[STATUS] " << elapsed << " sec: " << ops << " operations; "
+                                 << interval_rate << " current ops/sec");
+        }
+        last_ops = ops;
+        last_time = elapsed;
+        next_status += options.status_interval_seconds;
+      }
+    }
+  }
+  for (auto& th : pool) th.join();
+  double runtime_sec = run_watch.ElapsedSeconds();
+
+  for (const auto& s : init_errors) {
+    if (!s.ok()) return s;
+  }
+
+  result->runtime_ms = runtime_sec * 1000.0;
+  result->operations = operations.load();
+  result->committed = committed.load();
+  result->failed = failed.load();
+  result->throughput_ops_sec =
+      runtime_sec > 0.0 ? static_cast<double>(result->operations) / runtime_sec : 0.0;
+  result->op_stats = measurements_->Snapshot();
+  return Status::OK();
+}
+
+Status WorkloadRunner::Validate(uint64_t operations_executed, ValidationResult* out) {
+  auto db = factory_->CreateClient();
+  if (db == nullptr) return Status::Internal("client init failed");
+  Status s = db->Init();
+  if (!s.ok()) return s;
+  s = workload_->Validate(*db, operations_executed, out);
+  db->Cleanup();
+  return s;
+}
+
+Status WorkloadRunner::Execute(const LoadOptions& load, const RunOptions& run,
+                               RunResult* result) {
+  Status s = Load(load);
+  if (!s.ok()) return s;
+  s = Run(run, result);
+  if (!s.ok()) return s;
+  s = Validate(result->operations, &result->validation);
+  if (!s.ok()) return s;
+  result->op_stats = measurements_->Snapshot();
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace ycsbt

@@ -1,0 +1,105 @@
+#ifndef YCSBT_CORE_RUNNER_H_
+#define YCSBT_CORE_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/workload.h"
+#include "db/db_factory.h"
+#include "measurement/exporter.h"
+#include "measurement/measurements.h"
+
+namespace ycsbt {
+namespace core {
+
+/// Parameters of the load phase.
+struct LoadOptions {
+  int threads = 1;
+  /// Wrap every insert in Start/Commit (the strict paper behaviour).  Off by
+  /// default: the load phase is setup, not measurement.
+  bool wrap_in_transactions = false;
+};
+
+/// Parameters of the transaction (run) phase.
+struct RunOptions {
+  int threads = 1;
+  /// Total operations across all threads; 0 = no budget (requires
+  /// max_execution_seconds).
+  uint64_t operation_count = 0;
+  /// Wall-clock cap on the run; 0 = none (requires operation_count).
+  double max_execution_seconds = 0.0;
+  /// Aggregate target throughput for throttled runs; 0 = unthrottled.
+  double target_ops_per_sec = 0.0;
+  /// YCSB+T transactional wrapping (§IV-A).  When false the client threads
+  /// never call Start/Commit/Abort — the plain-YCSB mode that Tier 5
+  /// compares against.
+  bool wrap_in_transactions = true;
+
+  /// Emit a progress sample every this many seconds (YCSB's status thread);
+  /// 0 disables.  Samples go to `status_callback`, or the framework log when
+  /// the callback is empty.
+  double status_interval_seconds = 0.0;
+  /// Receives (elapsed seconds, total ops so far, ops/sec over the last
+  /// interval).  Called from the watchdog thread.
+  std::function<void(double, uint64_t, double)> status_callback;
+};
+
+/// Everything a finished run reports.
+struct RunResult {
+  double runtime_ms = 0.0;
+  double throughput_ops_sec = 0.0;
+  uint64_t operations = 0;  ///< workload transactions attempted
+  uint64_t committed = 0;   ///< transactions whose commit succeeded
+  uint64_t failed = 0;      ///< workload failures + failed commits
+  ValidationResult validation;
+  std::vector<OpStats> op_stats;
+
+  double abort_rate() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(failed) /
+                                 static_cast<double>(operations);
+  }
+
+  /// Converts to the exporter's run summary (Listing-3 shape).
+  RunSummary MakeSummary() const;
+};
+
+/// The workload executor of the YCSB+T architecture (paper Fig 1): drives
+/// the load phase, the transaction phase (spawning `threads` client threads,
+/// each with its own MeasuredDB-wrapped binding), and the validation stage.
+///
+/// The client-thread loop implements §IV-A verbatim: `DB.Start()`, then the
+/// workload's DoTransaction, then `DB.Commit()` on success or `DB.Abort()`
+/// on failure — with the whole sequence's latency recorded as `TX-<OP>`.
+class WorkloadRunner {
+ public:
+  /// All pointers are borrowed and must outlive the runner.
+  WorkloadRunner(DBFactory* factory, Workload* workload, Measurements* measurements)
+      : factory_(factory), workload_(workload), measurements_(measurements) {}
+
+  /// Inserts `workload->record_count()` records.
+  Status Load(const LoadOptions& options);
+
+  /// Runs the transaction phase.
+  Status Run(const RunOptions& options, RunResult* result);
+
+  /// Runs the Tier-6 validation stage with an unmeasured client.
+  /// `operations_executed` feeds the anomaly-score denominator; pass
+  /// `result->operations` from the preceding Run.
+  Status Validate(uint64_t operations_executed, ValidationResult* out);
+
+  /// Convenience: Load + Run + Validate, filling `result` completely.
+  Status Execute(const LoadOptions& load, const RunOptions& run, RunResult* result);
+
+ private:
+  DBFactory* factory_;
+  Workload* workload_;
+  Measurements* measurements_;
+};
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_RUNNER_H_

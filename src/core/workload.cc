@@ -1,0 +1,25 @@
+#include "core/workload.h"
+
+namespace ycsbt {
+namespace core {
+
+std::unique_ptr<Workload::ThreadState> Workload::InitThread(int thread_id,
+                                                            int /*thread_count*/) {
+  // Distinct, deterministic seeds per thread, derived from the run's seed.
+  return std::make_unique<ThreadState>(base_seed() +
+                                       static_cast<uint64_t>(thread_id));
+}
+
+Status Workload::Validate(DB& /*db*/, uint64_t /*operations_executed*/,
+                          ValidationResult* result) {
+  // Backward-compatible default: no validation defined (paper §IV-B).
+  *result = ValidationResult{};
+  return Status::OK();
+}
+
+void Workload::OnTransactionOutcome(ThreadState* /*state*/,
+                                    const TxnOpResult& /*result*/,
+                                    bool /*committed*/) {}
+
+}  // namespace core
+}  // namespace ycsbt

@@ -1,0 +1,110 @@
+#ifndef YCSBT_CORE_WORKLOAD_H_
+#define YCSBT_CORE_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "db/db.h"
+
+namespace ycsbt {
+namespace core {
+
+/// Outcome of the Tier-6 validation stage (paper §III-B, §IV-B).
+struct ValidationResult {
+  /// False when the workload has no validation (the default no-op).
+  bool performed = false;
+  /// True when the application-defined consistency check held.
+  bool passed = true;
+  /// The workload-specific anomaly quantification; 0 = consistent
+  /// (as from a serializable execution).
+  double anomaly_score = 0.0;
+  /// Report lines for the exporter, e.g. {"TOTAL CASH", "1000000"}.
+  std::vector<std::pair<std::string, std::string>> report;
+};
+
+/// Result of one workload transaction: whether it succeeded (deciding
+/// commit vs abort in the wrapping client thread) and which operation it
+/// performed (naming the whole-transaction `TX-<OP>` latency series).
+struct TxnOpResult {
+  bool ok = false;
+  const char* op = "UNKNOWN";
+};
+
+/// Base class of YCSB/YCSB+T workloads (paper Fig 1).
+///
+/// The workload defines what one *insert* (load phase) and one *transaction*
+/// (run phase) do against the DB abstraction; the client threads decide the
+/// operation cadence and — this is the YCSB+T extension — wrap each call in
+/// `DB::Start()` / `DB::Commit()` / `DB::Abort()`.
+///
+/// `Validate` is the second YCSB+T extension: an application-defined
+/// consistency check over the final database state, run by the executor
+/// after the workload completes.  The default is a no-op, keeping every
+/// plain-YCSB workload source-compatible.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Per-thread scratch state (RNG, in-flight buffers); created once per
+  /// client thread, passed back into every DoInsert/DoTransaction call.
+  class ThreadState {
+   public:
+    explicit ThreadState(uint64_t seed) : rng(seed) {}
+    virtual ~ThreadState() = default;
+
+    Random64 rng;
+  };
+
+  /// Reads workload parameters.  Called once before any thread starts.
+  virtual Status Init(const Properties& props) = 0;
+
+  /// Creates the per-thread state for client thread `thread_id` of
+  /// `thread_count`.  The default derives each thread's RNG seed from
+  /// `base_seed()`, so two runs with the same `seed` property replay the
+  /// same operation streams.
+  virtual std::unique_ptr<ThreadState> InitThread(int thread_id, int thread_count);
+
+  /// Base RNG seed (the `seed` property; implementations read it in Init).
+  uint64_t base_seed() const { return base_seed_; }
+
+  /// One load-phase insert.  Returns false on failure (the run aborts).
+  virtual bool DoInsert(DB& db, ThreadState* state) = 0;
+
+  /// One run-phase transaction (one or more DB operations).
+  virtual TxnOpResult DoTransaction(DB& db, ThreadState* state) = 0;
+
+  /// Tier-6 validation stage; default no-op (`performed = false`).
+  /// `operations_executed` is the number of workload transactions the run
+  /// performed — the denominator of the paper's anomaly score.
+  virtual Status Validate(DB& db, uint64_t operations_executed,
+                          ValidationResult* result);
+
+  /// Hook called by the client thread after each transaction's outcome is
+  /// known (`committed` is false when the DB aborted or the commit failed).
+  /// Lets workloads with out-of-band state (CEW's capture bank) compensate
+  /// for aborted transactions.  Default: nothing.
+  virtual void OnTransactionOutcome(ThreadState* state, const TxnOpResult& result,
+                                    bool committed);
+
+  /// Total records the load phase should insert (from `recordcount`).
+  virtual uint64_t record_count() const = 0;
+
+ protected:
+  /// Reads the `seed` property (implementations call this from Init).
+  void InitSeed(const Properties& props) {
+    base_seed_ = props.GetUint("seed", 0x5EEDBA5Eull);
+  }
+
+ private:
+  uint64_t base_seed_ = 0x5EEDBA5Eull;
+};
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_WORKLOAD_H_

@@ -1,0 +1,26 @@
+#ifndef YCSBT_CORE_WORKLOAD_FACTORY_H_
+#define YCSBT_CORE_WORKLOAD_FACTORY_H_
+
+#include <memory>
+
+#include "core/workload.h"
+
+namespace ycsbt {
+namespace core {
+
+/// Instantiates and initialises the workload named by the `workload`
+/// property.  Accepted names:
+///  - `core` (default) — CoreWorkload;
+///  - `closed_economy` — ClosedEconomyWorkload;
+///  - `write_skew` — WriteSkewWorkload (isolation-level anomaly targeting,
+///    the paper's SVII future work);
+///  - the Java class names of the original framework
+///    (`com.yahoo.ycsb.workloads.CoreWorkload`,
+///    `com.yahoo.ycsb.workloads.ClosedEconomyWorkload`), accepted verbatim so
+///    the paper's Listing 2 properties files run unmodified.
+Status CreateWorkload(const Properties& props, std::unique_ptr<Workload>* out);
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_WORKLOAD_FACTORY_H_

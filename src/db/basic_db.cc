@@ -1,0 +1,40 @@
+#include "db/basic_db.h"
+
+namespace ycsbt {
+
+Status BasicDB::Touch() {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (latency_.Enabled()) {
+    latency_.Inject(ThreadLocalRandom());
+  }
+  return Status::OK();
+}
+
+Status BasicDB::Read(const std::string& /*table*/, const std::string& /*key*/,
+                     const std::vector<std::string>* /*fields*/, FieldMap* result) {
+  if (result != nullptr) result->clear();
+  return Touch();
+}
+
+Status BasicDB::Scan(const std::string& /*table*/, const std::string& /*start*/,
+                     size_t /*count*/, const std::vector<std::string>* /*fields*/,
+                     std::vector<ScanRow>* result) {
+  if (result != nullptr) result->clear();
+  return Touch();
+}
+
+Status BasicDB::Update(const std::string& /*table*/, const std::string& /*key*/,
+                       const FieldMap& /*values*/) {
+  return Touch();
+}
+
+Status BasicDB::Insert(const std::string& /*table*/, const std::string& /*key*/,
+                       const FieldMap& /*values*/) {
+  return Touch();
+}
+
+Status BasicDB::Delete(const std::string& /*table*/, const std::string& /*key*/) {
+  return Touch();
+}
+
+}  // namespace ycsbt

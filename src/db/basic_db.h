@@ -1,0 +1,48 @@
+#ifndef YCSBT_DB_BASIC_DB_H_
+#define YCSBT_DB_BASIC_DB_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/latency_model.h"
+#include "common/random.h"
+#include "db/db.h"
+
+namespace ycsbt {
+
+/// YCSB's BasicDB analogue: a stub binding that succeeds on everything,
+/// optionally sleeps a configurable simulated latency, and counts calls.
+/// Used to test the framework itself (workloads, executor, measurement)
+/// without a real store, and to verify YCSB backward compatibility (its
+/// Start/Commit/Abort are the inherited no-ops).
+class BasicDB : public DB {
+ public:
+  /// @param simulate_delay_us mean per-op latency to sleep (0 = none).
+  explicit BasicDB(uint64_t simulate_delay_us = 0)
+      : latency_(static_cast<double>(simulate_delay_us), 0.25) {}
+
+  Status Read(const std::string& table, const std::string& key,
+              const std::vector<std::string>* fields, FieldMap* result) override;
+  Status Scan(const std::string& table, const std::string& start_key,
+              size_t record_count, const std::vector<std::string>* fields,
+              std::vector<ScanRow>* result) override;
+  Status Update(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Insert(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Delete(const std::string& table, const std::string& key) override;
+
+  /// Total operations across all BasicDB methods (shared by all threads'
+  /// instances via the factory is not needed; each instance counts its own).
+  uint64_t operation_count() const { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  Status Touch();
+
+  LatencyModel latency_;
+  std::atomic<uint64_t> ops_{0};
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_DB_BASIC_DB_H_

@@ -1,0 +1,80 @@
+#ifndef YCSBT_DB_DB_H_
+#define YCSBT_DB_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/status.h"
+
+namespace ycsbt {
+
+/// A record: field name -> field value (ordered for deterministic encoding).
+using FieldMap = std::map<std::string, std::string>;
+
+/// One row of a scan result.  Unlike the Java YCSB scan (which drops keys),
+/// rows carry their key so the YCSB+T validation stage can paginate a full
+/// table sweep; workload scan operations simply ignore it.
+struct ScanRow {
+  std::string key;
+  FieldMap fields;
+};
+
+/// The YCSB "DB client" abstraction (paper Fig 1), extended per YCSB+T §IV-A
+/// with transaction demarcation.
+///
+/// A `DB` instance belongs to one client thread; instances created for the
+/// same run share their backend through the factory.  The transactional
+/// methods `Start`/`Commit`/`Abort` are **no-ops by default**, which is the
+/// paper's backward-compatibility guarantee: any workload written for plain
+/// YCSB runs unchanged against a non-transactional binding.
+class DB {
+ public:
+  virtual ~DB() = default;
+
+  /// Called once by the owning client thread before any operation.
+  virtual Status Init() { return Status::OK(); }
+
+  /// Called once after the last operation.
+  virtual Status Cleanup() { return Status::OK(); }
+
+  /// Reads one record.  `fields` selects a projection; nullptr = all fields.
+  virtual Status Read(const std::string& table, const std::string& key,
+                      const std::vector<std::string>* fields, FieldMap* result) = 0;
+
+  /// Reads up to `record_count` records in key order starting at `start_key`.
+  virtual Status Scan(const std::string& table, const std::string& start_key,
+                      size_t record_count, const std::vector<std::string>* fields,
+                      std::vector<ScanRow>* result) = 0;
+
+  /// Updates (read-modify-replaces named fields of) one record.
+  virtual Status Update(const std::string& table, const std::string& key,
+                        const FieldMap& values) = 0;
+
+  /// Inserts one record.
+  virtual Status Insert(const std::string& table, const std::string& key,
+                        const FieldMap& values) = 0;
+
+  /// Deletes one record.
+  virtual Status Delete(const std::string& table, const std::string& key) = 0;
+
+  // --- YCSB+T transactional extension (default: no-op) -------------------
+
+  /// Begins a transaction on this client.
+  virtual Status Start() { return Status::OK(); }
+
+  /// Commits the current transaction.
+  virtual Status Commit() { return Status::OK(); }
+
+  /// Aborts the current transaction.
+  virtual Status Abort() { return Status::OK(); }
+
+  /// True when Start/Commit/Abort actually demarcate transactions.
+  virtual bool Transactional() const { return false; }
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_DB_DB_H_

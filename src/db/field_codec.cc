@@ -1,0 +1,63 @@
+#include "db/field_codec.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace ycsbt {
+
+std::string EncodeFields(const FieldMap& fields) {
+  std::string out;
+  size_t size = 5;
+  for (const auto& [name, value] : fields) size += 8 + name.size() + value.size();
+  out.reserve(size);
+  PutFixed8(&out, 0xF1);  // format tag
+  PutFixed32(&out, static_cast<uint32_t>(fields.size()));
+  for (const auto& [name, value] : fields) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, value);
+  }
+  return out;
+}
+
+Status DecodeFields(const std::string& data, FieldMap* fields) {
+  return DecodeFieldsProjected(data, nullptr, fields);
+}
+
+Status DecodeFieldsProjected(const std::string& data,
+                             const std::vector<std::string>* projection,
+                             FieldMap* out) {
+  out->clear();
+  Decoder dec(data);
+  uint8_t tag = 0;
+  uint32_t count = 0;
+  if (!dec.GetFixed8(&tag) || tag != 0xF1 || !dec.GetFixed32(&count)) {
+    return Status::Corruption("bad field record header");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name, value;
+    if (!dec.GetLengthPrefixed(&name) || !dec.GetLengthPrefixed(&value)) {
+      return Status::Corruption("truncated field record");
+    }
+    if (projection != nullptr &&
+        std::find(projection->begin(), projection->end(), name) ==
+            projection->end()) {
+      continue;
+    }
+    (*out)[std::move(name)] = std::move(value);
+  }
+  if (!dec.Empty()) return Status::Corruption("trailing bytes in field record");
+  return Status::OK();
+}
+
+Status MergeFields(const std::string& existing, const FieldMap& updates,
+                   std::string* merged) {
+  FieldMap fields;
+  Status s = DecodeFields(existing, &fields);
+  if (!s.ok()) return s;
+  for (const auto& [name, value] : updates) fields[name] = value;
+  *merged = EncodeFields(fields);
+  return Status::OK();
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,32 @@
+#ifndef YCSBT_DB_FIELD_CODEC_H_
+#define YCSBT_DB_FIELD_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/db.h"
+
+namespace ycsbt {
+
+/// Serialises a FieldMap into one store value (length-prefixed name/value
+/// pairs) and back.  All bindings share this codec, so data loaded through
+/// one binding is readable through another layered on the same store.
+std::string EncodeFields(const FieldMap& fields);
+
+/// Decodes a store value; Corruption on malformed input.
+Status DecodeFields(const std::string& data, FieldMap* fields);
+
+/// Decodes and projects: keeps only `fields` (nullptr = all).
+Status DecodeFieldsProjected(const std::string& data,
+                             const std::vector<std::string>* fields,
+                             FieldMap* out);
+
+/// Merges `updates` into an existing encoded record (YCSB update semantics:
+/// replace named fields, keep the rest).
+Status MergeFields(const std::string& existing, const FieldMap& updates,
+                   std::string* merged);
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_DB_FIELD_CODEC_H_

@@ -1,0 +1,59 @@
+#include "db/kvstore_db.h"
+
+#include "db/field_codec.h"
+
+namespace ycsbt {
+
+Status KvStoreDB::Read(const std::string& table, const std::string& key,
+                       const std::vector<std::string>* fields, FieldMap* result) {
+  std::string data;
+  Status s = store_->Get(ComposeKey(table, key), &data);
+  if (!s.ok()) return s;
+  return DecodeFieldsProjected(data, fields, result);
+}
+
+Status KvStoreDB::Scan(const std::string& table, const std::string& start_key,
+                       size_t record_count, const std::vector<std::string>* fields,
+                       std::vector<ScanRow>* result) {
+  result->clear();
+  std::vector<kv::ScanEntry> entries;
+  std::string prefix = table + "/";
+  Status s = store_->Scan(ComposeKey(table, start_key), record_count, &entries);
+  if (!s.ok()) return s;
+  for (const auto& entry : entries) {
+    if (entry.key.compare(0, prefix.size(), prefix) != 0) break;  // next table
+    ScanRow row;
+    row.key = entry.key.substr(prefix.size());
+    s = DecodeFieldsProjected(entry.value, fields, &row.fields);
+    if (!s.ok()) return s;
+    result->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status KvStoreDB::Update(const std::string& table, const std::string& key,
+                         const FieldMap& values) {
+  // YCSB update semantics: replace the named fields, keep the others.  The
+  // read-merge-write below is NOT atomic — precisely the behaviour of a
+  // record layer over a plain key-value store, and the source of the
+  // anomalies Tier 6 detects when updates race.
+  std::string composed = ComposeKey(table, key);
+  std::string existing;
+  Status s = store_->Get(composed, &existing);
+  if (!s.ok()) return s;
+  std::string merged;
+  s = MergeFields(existing, values, &merged);
+  if (!s.ok()) return s;
+  return store_->Put(composed, merged);
+}
+
+Status KvStoreDB::Insert(const std::string& table, const std::string& key,
+                         const FieldMap& values) {
+  return store_->Put(ComposeKey(table, key), EncodeFields(values));
+}
+
+Status KvStoreDB::Delete(const std::string& table, const std::string& key) {
+  return store_->Delete(ComposeKey(table, key));
+}
+
+}  // namespace ycsbt

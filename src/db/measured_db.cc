@@ -1,0 +1,72 @@
+#include "db/measured_db.h"
+
+#include "common/clock.h"
+
+namespace ycsbt {
+
+namespace {
+
+class ScopedMeasure {
+ public:
+  ScopedMeasure(Measurements* m, const char* op) : m_(m), op_(op) {}
+
+  Status Done(Status s) {
+    m_->Measure(op_, static_cast<int64_t>(watch_.ElapsedMicros()));
+    m_->ReportStatus(op_, s);
+    return s;
+  }
+
+ private:
+  Measurements* m_;
+  const char* op_;
+  Stopwatch watch_;
+};
+
+}  // namespace
+
+Status MeasuredDB::Read(const std::string& table, const std::string& key,
+                        const std::vector<std::string>* fields, FieldMap* result) {
+  ScopedMeasure m(measurements_, opname::kRead);
+  return m.Done(inner_->Read(table, key, fields, result));
+}
+
+Status MeasuredDB::Scan(const std::string& table, const std::string& start_key,
+                        size_t record_count, const std::vector<std::string>* fields,
+                        std::vector<ScanRow>* result) {
+  ScopedMeasure m(measurements_, opname::kScan);
+  return m.Done(inner_->Scan(table, start_key, record_count, fields, result));
+}
+
+Status MeasuredDB::Update(const std::string& table, const std::string& key,
+                          const FieldMap& values) {
+  ScopedMeasure m(measurements_, opname::kUpdate);
+  return m.Done(inner_->Update(table, key, values));
+}
+
+Status MeasuredDB::Insert(const std::string& table, const std::string& key,
+                          const FieldMap& values) {
+  ScopedMeasure m(measurements_, opname::kInsert);
+  return m.Done(inner_->Insert(table, key, values));
+}
+
+Status MeasuredDB::Delete(const std::string& table, const std::string& key) {
+  ScopedMeasure m(measurements_, opname::kDelete);
+  return m.Done(inner_->Delete(table, key));
+}
+
+Status MeasuredDB::Start() {
+  ScopedMeasure m(measurements_, opname::kStart);
+  return m.Done(inner_->Start());
+}
+
+Status MeasuredDB::Commit() {
+  ScopedMeasure m(measurements_, opname::kCommit);
+  return m.Done(inner_->Commit());
+}
+
+Status MeasuredDB::Abort() {
+  ScopedMeasure m(measurements_, opname::kAbort);
+  return m.Done(inner_->Abort());
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,63 @@
+#ifndef YCSBT_DB_MEASURED_DB_H_
+#define YCSBT_DB_MEASURED_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "measurement/measurements.h"
+
+namespace ycsbt {
+
+/// Operation-series names emitted by MeasuredDB.
+namespace opname {
+inline constexpr const char kRead[] = "READ";
+inline constexpr const char kScan[] = "SCAN";
+inline constexpr const char kUpdate[] = "UPDATE";
+inline constexpr const char kInsert[] = "INSERT";
+inline constexpr const char kDelete[] = "DELETE";
+inline constexpr const char kStart[] = "START";
+inline constexpr const char kCommit[] = "COMMIT";
+inline constexpr const char kAbort[] = "ABORT";
+}  // namespace opname
+
+/// The Tier-5 instrument: wraps any DB binding and records, for every call,
+/// its latency and return code under the operation's series — including the
+/// transactional demarcation calls `START`, `COMMIT` and `ABORT` that plain
+/// YCSB has no notion of.  Comparing the same workload's series between a
+/// transactional and a non-transactional run quantifies the per-operation
+/// transactional overhead (paper §III-A, Fig 3).
+class MeasuredDB : public DB {
+ public:
+  MeasuredDB(std::unique_ptr<DB> inner, Measurements* measurements)
+      : inner_(std::move(inner)), measurements_(measurements) {}
+
+  Status Init() override { return inner_->Init(); }
+  Status Cleanup() override { return inner_->Cleanup(); }
+
+  Status Read(const std::string& table, const std::string& key,
+              const std::vector<std::string>* fields, FieldMap* result) override;
+  Status Scan(const std::string& table, const std::string& start_key,
+              size_t record_count, const std::vector<std::string>* fields,
+              std::vector<ScanRow>* result) override;
+  Status Update(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Insert(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Delete(const std::string& table, const std::string& key) override;
+
+  Status Start() override;
+  Status Commit() override;
+  Status Abort() override;
+  bool Transactional() const override { return inner_->Transactional(); }
+
+  DB* inner() const { return inner_.get(); }
+
+ private:
+  std::unique_ptr<DB> inner_;
+  Measurements* measurements_;  // not owned
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_DB_MEASURED_DB_H_

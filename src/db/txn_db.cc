@@ -1,0 +1,99 @@
+#include "db/txn_db.h"
+
+#include "db/field_codec.h"
+#include "db/kvstore_db.h"
+
+namespace ycsbt {
+
+Status TxnDB::ReadRaw(const std::string& composed, std::string* value) {
+  if (txn_ != nullptr) return txn_->Read(composed, value);
+  return kv_->ReadCommitted(composed, value);
+}
+
+Status TxnDB::Read(const std::string& table, const std::string& key,
+                   const std::vector<std::string>* fields, FieldMap* result) {
+  std::string data;
+  Status s = ReadRaw(KvStoreDB::ComposeKey(table, key), &data);
+  if (!s.ok()) return s;
+  return DecodeFieldsProjected(data, fields, result);
+}
+
+Status TxnDB::Scan(const std::string& table, const std::string& start_key,
+                   size_t record_count, const std::vector<std::string>* fields,
+                   std::vector<ScanRow>* result) {
+  result->clear();
+  std::vector<txn::TxScanEntry> entries;
+  std::string prefix = table + "/";
+  std::string composed = KvStoreDB::ComposeKey(table, start_key);
+  Status s = txn_ != nullptr ? txn_->Scan(composed, record_count, &entries)
+                             : kv_->ScanCommitted(composed, record_count, &entries);
+  if (!s.ok()) return s;
+  for (const auto& entry : entries) {
+    if (entry.key.compare(0, prefix.size(), prefix) != 0) break;
+    ScanRow row;
+    row.key = entry.key.substr(prefix.size());
+    s = DecodeFieldsProjected(entry.value, fields, &row.fields);
+    if (!s.ok()) return s;
+    result->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status TxnDB::Update(const std::string& table, const std::string& key,
+                     const FieldMap& values) {
+  // Read-merge-write; inside a transaction the read joins the read set and
+  // the merged record lands in the write buffer, so the whole update is
+  // atomic at commit.
+  std::string composed = KvStoreDB::ComposeKey(table, key);
+  std::string existing;
+  Status s = ReadRaw(composed, &existing);
+  if (!s.ok()) return s;
+  std::string merged;
+  s = MergeFields(existing, values, &merged);
+  if (!s.ok()) return s;
+  if (txn_ != nullptr) return txn_->Write(composed, merged);
+  return kv_->LoadPut(composed, merged);
+}
+
+Status TxnDB::Insert(const std::string& table, const std::string& key,
+                     const FieldMap& values) {
+  std::string composed = KvStoreDB::ComposeKey(table, key);
+  std::string encoded = EncodeFields(values);
+  if (txn_ != nullptr) return txn_->Write(composed, encoded);
+  return kv_->LoadPut(composed, encoded);
+}
+
+Status TxnDB::Delete(const std::string& table, const std::string& key) {
+  std::string composed = KvStoreDB::ComposeKey(table, key);
+  if (txn_ != nullptr) return txn_->Delete(composed);
+  // Auto-commit delete: a one-op transaction.
+  auto txn = kv_->Begin();
+  Status s = txn->Delete(composed);
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  return txn->Commit();
+}
+
+Status TxnDB::Start() {
+  if (txn_ != nullptr) return Status::InvalidArgument("transaction already active");
+  txn_ = kv_->Begin();
+  return Status::OK();
+}
+
+Status TxnDB::Commit() {
+  if (txn_ == nullptr) return Status::InvalidArgument("no active transaction");
+  Status s = txn_->Commit();
+  txn_.reset();
+  return s;
+}
+
+Status TxnDB::Abort() {
+  if (txn_ == nullptr) return Status::InvalidArgument("no active transaction");
+  Status s = txn_->Abort();
+  txn_.reset();
+  return s;
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,52 @@
+#ifndef YCSBT_DB_TXN_DB_H_
+#define YCSBT_DB_TXN_DB_H_
+
+#include <memory>
+
+#include "db/db.h"
+#include "txn/transaction.h"
+
+namespace ycsbt {
+
+/// Transactional DB binding over a `txn::TransactionalKV` (the
+/// client-coordinated library or the embedded 2PL engine).
+///
+/// `Start()` begins a transaction on this client thread; every CRUD/scan
+/// until `Commit()`/`Abort()` executes inside it.  Outside a transaction the
+/// binding falls back to auto-committed single operations, so the same
+/// binding serves YCSB-style (non-wrapped) runs too.
+///
+/// One instance per client thread (the YCSB threading model); instances
+/// share the underlying TransactionalKV.
+class TxnDB : public DB {
+ public:
+  explicit TxnDB(std::shared_ptr<txn::TransactionalKV> kv) : kv_(std::move(kv)) {}
+
+  Status Read(const std::string& table, const std::string& key,
+              const std::vector<std::string>* fields, FieldMap* result) override;
+  Status Scan(const std::string& table, const std::string& start_key,
+              size_t record_count, const std::vector<std::string>* fields,
+              std::vector<ScanRow>* result) override;
+  Status Update(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Insert(const std::string& table, const std::string& key,
+                const FieldMap& values) override;
+  Status Delete(const std::string& table, const std::string& key) override;
+
+  Status Start() override;
+  Status Commit() override;
+  Status Abort() override;
+  bool Transactional() const override { return true; }
+
+  txn::TransactionalKV* kv() const { return kv_.get(); }
+
+ private:
+  Status ReadRaw(const std::string& composed, std::string* value);
+
+  std::shared_ptr<txn::TransactionalKV> kv_;
+  std::unique_ptr<txn::Transaction> txn_;  // active transaction, if any
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_DB_TXN_DB_H_

@@ -1,0 +1,32 @@
+#ifndef YCSBT_GENERATOR_UNIFORM_GENERATOR_H_
+#define YCSBT_GENERATOR_UNIFORM_GENERATOR_H_
+
+#include <atomic>
+
+#include "generator/generator.h"
+
+namespace ycsbt {
+
+/// Uniform integers in the inclusive interval [lower, upper].
+class UniformLongGenerator : public IntegerGenerator {
+ public:
+  UniformLongGenerator(uint64_t lower, uint64_t upper)
+      : lower_(lower), upper_(upper), last_(lower) {}
+
+  uint64_t Next(Random64& rng) override {
+    uint64_t v = lower_ + rng.Uniform(upper_ - lower_ + 1);
+    last_.store(v, std::memory_order_relaxed);
+    return v;
+  }
+
+  uint64_t Last() const override { return last_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t lower_;
+  uint64_t upper_;
+  std::atomic<uint64_t> last_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_GENERATOR_UNIFORM_GENERATOR_H_

@@ -1,0 +1,82 @@
+#include "generator/zipfian_generator.h"
+
+#include <cmath>
+
+namespace ycsbt {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t min, uint64_t max, double theta)
+    : ZipfianGenerator(min, max, theta, Zeta(max - min + 1, theta)) {}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t min, uint64_t max, double theta,
+                                   double zetan)
+    : min_(min),
+      theta_(theta),
+      zeta2theta_(Zeta(2, theta)),
+      alpha_(1.0 / (1.0 - theta)),
+      count_(max - min + 1),
+      last_(min),
+      zeta_n_(max - min + 1),
+      zetan_(zetan) {}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  return ZetaIncremental(0, n, 0.0, theta);
+}
+
+double ZipfianGenerator::ZetaIncremental(uint64_t prev_n, uint64_t n,
+                                         double prev_sum, double theta) {
+  double sum = prev_sum;
+  for (uint64_t i = prev_n + 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+double ZipfianGenerator::ZetaForCount(uint64_t n) {
+  std::lock_guard<std::mutex> lock(zeta_mu_);
+  uint64_t cached_n = zeta_n_.load(std::memory_order_relaxed);
+  double cached = zetan_.load(std::memory_order_relaxed);
+  if (n == cached_n) return cached;
+  double zetan;
+  if (n > cached_n) {
+    zetan = ZetaIncremental(cached_n, n, cached, theta_);
+  } else {
+    // Shrinking item counts are rare (delete-heavy workloads); recompute.
+    zetan = Zeta(n, theta_);
+  }
+  zetan_.store(zetan, std::memory_order_relaxed);
+  zeta_n_.store(n, std::memory_order_release);  // publish zetan_ with the count
+  return zetan;
+}
+
+uint64_t ZipfianGenerator::Next(Random64& rng, uint64_t item_count) {
+  if (item_count == 0) return min_;
+  double zetan;
+  if (item_count == zeta_n_.load(std::memory_order_acquire)) {
+    // Fast path: cached zeta matches the requested count, no locking needed.
+    zetan = zetan_.load(std::memory_order_relaxed);
+  } else {
+    zetan = ZetaForCount(item_count);
+    count_.store(item_count, std::memory_order_relaxed);
+  }
+
+  double u = rng.NextDouble();
+  double uz = u * zetan;
+  uint64_t result;
+  if (uz < 1.0) {
+    result = min_;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    result = min_ + 1;
+  } else {
+    double eta =
+        (1.0 - std::pow(2.0 / static_cast<double>(item_count), 1.0 - theta_)) /
+        (1.0 - zeta2theta_ / zetan);
+    result = min_ + static_cast<uint64_t>(
+                        static_cast<double>(item_count) *
+                        std::pow(eta * u - eta + 1.0, alpha_));
+    if (result > min_ + item_count - 1) result = min_ + item_count - 1;
+  }
+  last_.store(result, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,33 @@
+#ifndef YCSBT_KV_CRC32_H_
+#define YCSBT_KV_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ycsbt {
+namespace kv {
+
+/// CRC-32C (Castagnoli) over a byte range; guards every write-ahead-log
+/// record against torn writes and bit rot, as in LevelDB/RocksDB logs.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+/// Masked CRC (RocksDB trick): storing a CRC of data that itself embeds CRCs
+/// can defeat the checksum; the mask makes stored CRCs distinct from raw ones.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_CRC32_H_

@@ -1,0 +1,163 @@
+#ifndef YCSBT_KV_SKIPLIST_H_
+#define YCSBT_KV_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ycsbt {
+namespace kv {
+
+/// Ordered in-memory map from string keys to values of type V, implemented
+/// as a probabilistic skip list — the memtable structure of the storage
+/// engine (WiredTiger, LevelDB and friends use the same shape).
+///
+/// Not internally synchronised: each store shard guards its skip list with a
+/// reader-writer lock.  Iteration order is byte-wise lexicographic, the key
+/// order YCSB scans expect.
+template <typename V>
+class SkipList {
+ public:
+  SkipList() : rng_(0xC0FFEEull), head_(new Node("", kMaxHeight)), size_(0) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Inserts `key` with `value`, or overwrites the existing value.
+  /// Returns true if the key was newly inserted.
+  bool Upsert(const std::string& key, V value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      node->value = std::move(value);
+      return false;
+    }
+    Node* fresh = new Node(key, RandomHeight());
+    fresh->value = std::move(value);
+    for (int i = 0; i < fresh->height(); ++i) {
+      fresh->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = fresh;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Looks up `key`; returns nullptr when absent.  The pointer stays valid
+  /// until the key is erased or the list destroyed.
+  V* Find(const std::string& key) {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  const V* Find(const std::string& key) const {
+    return const_cast<SkipList*>(this)->Find(key);
+  }
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(const std::string& key) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node == nullptr || node->key != key) return false;
+    for (int i = 0; i < node->height(); ++i) {
+      if (prev[i]->next[i] == node) prev[i]->next[i] = node->next[i];
+    }
+    delete node;
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator positioned by `SeekToFirst`/`Seek`; the usual memtable
+  /// iteration interface.  Invalidated by any mutation of the list.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+
+    /// Positions at the first key >= target.
+    void Seek(const std::string& target) {
+      node_ = const_cast<SkipList*>(list_)->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+
+    const std::string& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    const V& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr unsigned kBranching = 4;
+
+  struct Node {
+    Node(std::string k, int height) : key(std::move(k)), next(height, nullptr) {}
+
+    int height() const { return static_cast<int>(next.size()); }
+
+    std::string key;
+    V value{};
+    std::vector<Node*> next;
+  };
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.Uniform(kBranching) == 0) ++height;
+    return height;
+  }
+
+  /// First node with key >= target; fills `prev` (if non-null) with the
+  /// rightmost node before the target at every level.
+  Node* FindGreaterOrEqual(const std::string& target, Node** prev) {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && x->next[level]->key < target) {
+        x = x->next[level];
+      }
+      if (prev != nullptr) prev[level] = x;
+    }
+    return x->next[0];
+  }
+
+  Random64 rng_;
+  Node* head_;
+  size_t size_;
+
+  friend class Iterator;
+};
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_SKIPLIST_H_

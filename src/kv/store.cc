@@ -1,0 +1,269 @@
+#include "kv/store.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/random.h"
+
+namespace ycsbt {
+namespace kv {
+
+ShardedStore::ShardedStore(StoreOptions options) : options_(std::move(options)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.wal_path.empty()) open_ = true;  // volatile store needs no Open()
+}
+
+ShardedStore::~ShardedStore() = default;
+
+Status ShardedStore::Open() {
+  if (options_.wal_path.empty()) return Status::OK();
+  if (open_) return Status::InvalidArgument("store already open");
+  // 1. Load the last checkpoint, if any.  A checkpoint is simply a compacted
+  //    log: a sequence of kPut records plus an etag watermark, so the WAL
+  //    replay machinery reads it directly.
+  if (!options_.checkpoint_path.empty()) {
+    Status s = WriteAheadLog::Replay(
+        options_.checkpoint_path, [this](const WalRecord& r) {
+          if (r.key.empty()) {
+            // Reserved empty-key record: the checkpoint's etag watermark.
+            checkpoint_etag_ = r.etag;
+            uint64_t seen = etag_source_.load(std::memory_order_relaxed);
+            while (r.etag > seen && !etag_source_.compare_exchange_weak(
+                                        seen, r.etag, std::memory_order_relaxed)) {
+            }
+            return;
+          }
+          ApplyReplayed(r, /*skip_upto_etag=*/0);
+        });
+    if (!s.ok()) return s;
+  }
+  // 2. Replay WAL records newer than the checkpoint.  (After a crash between
+  //    checkpoint rename and WAL truncation the log still holds records the
+  //    snapshot already folded in; the watermark filters them out.)
+  Status s = WriteAheadLog::Replay(
+      options_.wal_path,
+      [this](const WalRecord& r) { ApplyReplayed(r, checkpoint_etag_); });
+  if (!s.ok()) return s;
+  s = wal_.Open(options_.wal_path);
+  if (!s.ok()) return s;
+  open_ = true;
+  return Status::OK();
+}
+
+void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag) {
+  if (record.etag != 0 && record.etag <= skip_upto_etag) return;
+  Shard& shard = ShardFor(record.key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (record.kind == WalRecord::Kind::kPut) {
+    shard.map.Upsert(record.key, Entry{record.value, record.etag});
+  } else {
+    shard.map.Erase(record.key);
+  }
+  // Keep the etag source ahead of everything the log produced.
+  uint64_t seen = etag_source_.load(std::memory_order_relaxed);
+  while (record.etag > seen &&
+         !etag_source_.compare_exchange_weak(seen, record.etag,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+Status ShardedStore::Checkpoint() {
+  if (options_.checkpoint_path.empty() || options_.wal_path.empty()) {
+    return Status::InvalidArgument("checkpointing needs checkpoint_path and wal_path");
+  }
+  if (!open_) return Status::IOError("store not opened");
+
+  // Stop the world: exclusive locks on every shard, in index order (the same
+  // order Scan takes shared locks, so the two cannot deadlock).
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    WriteAheadLog snapshot;
+    std::remove(tmp.c_str());
+    Status s = snapshot.Open(tmp);
+    if (!s.ok()) return s;
+    for (auto& shard : shards_) {
+      SkipList<Entry>::Iterator it(&shard->map);
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        WalRecord record;
+        record.kind = WalRecord::Kind::kPut;
+        record.etag = it.value().etag;
+        record.key = it.key();
+        record.value = it.value().value;
+        s = snapshot.Append(record, /*sync=*/false);
+        if (!s.ok()) return s;
+      }
+    }
+    // Etag watermark last (reserved empty key), with the snapshot's only
+    // fdatasync: if this record is intact, the whole snapshot is.
+    WalRecord watermark;
+    watermark.kind = WalRecord::Kind::kPut;
+    watermark.etag = etag_source_.load(std::memory_order_relaxed);
+    s = snapshot.Append(watermark, /*sync=*/true);
+    if (!s.ok()) return s;
+  }
+  if (std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
+    return Status::IOError("checkpoint rename failed");
+  }
+
+  // Log compaction: everything in the WAL is now covered by the snapshot.
+  wal_.Close();
+  std::FILE* trunc = std::fopen(options_.wal_path.c_str(), "wb");
+  if (trunc == nullptr) return Status::IOError("WAL truncate failed");
+  std::fclose(trunc);
+  return wal_.Open(options_.wal_path);
+}
+
+ShardedStore::Shard& ShardedStore::ShardFor(const std::string& key) {
+  uint64_t h = FNVHash64(std::hash<std::string>{}(key));
+  return *shards_[h % shards_.size()];
+}
+
+Status ShardedStore::LogMutation(WalRecord::Kind kind, const std::string& key,
+                                 std::string_view value, uint64_t etag) {
+  if (!wal_.IsOpen()) return Status::OK();
+  WalRecord record;
+  record.kind = kind;
+  record.etag = etag;
+  record.key = key;
+  record.value = std::string(value);
+  return wal_.Append(record, options_.sync_wal);
+}
+
+Status ShardedStore::Get(const std::string& key, std::string* value,
+                         uint64_t* etag) {
+  if (!open_) return Status::IOError("store not opened");
+  Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const Entry* entry = shard.map.Find(key);
+  if (entry == nullptr) return Status::NotFound(key);
+  if (value != nullptr) *value = entry->value;
+  if (etag != nullptr) *etag = entry->etag;
+  return Status::OK();
+}
+
+Status ShardedStore::Put(const std::string& key, std::string_view value,
+                         uint64_t* etag_out) {
+  if (!open_) return Status::IOError("store not opened");
+  if (key.empty()) return Status::InvalidArgument("empty keys are reserved");
+  uint64_t etag = NextEtag();
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  Status s = LogMutation(WalRecord::Kind::kPut, key, value, etag);
+  if (!s.ok()) return s;
+  shard.map.Upsert(key, Entry{std::string(value), etag});
+  if (etag_out != nullptr) *etag_out = etag;
+  return Status::OK();
+}
+
+Status ShardedStore::ConditionalPut(const std::string& key, std::string_view value,
+                                    uint64_t expected_etag, uint64_t* etag_out) {
+  if (!open_) return Status::IOError("store not opened");
+  if (key.empty()) return Status::InvalidArgument("empty keys are reserved");
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const Entry* entry = shard.map.Find(key);
+  if (expected_etag == kEtagAbsent) {
+    if (entry != nullptr) return Status::Conflict("key exists: " + key);
+  } else {
+    if (entry == nullptr) return Status::Conflict("key absent: " + key);
+    if (entry->etag != expected_etag) {
+      return Status::Conflict("etag mismatch on " + key);
+    }
+  }
+  uint64_t etag = NextEtag();
+  Status s = LogMutation(WalRecord::Kind::kPut, key, value, etag);
+  if (!s.ok()) return s;
+  shard.map.Upsert(key, Entry{std::string(value), etag});
+  if (etag_out != nullptr) *etag_out = etag;
+  return Status::OK();
+}
+
+Status ShardedStore::Delete(const std::string& key) {
+  if (!open_) return Status::IOError("store not opened");
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.map.Find(key) == nullptr) return Status::NotFound(key);
+  // Deletes consume an etag too, so the log is totally ordered per key and
+  // checkpoint watermarks can filter replay exactly.
+  Status s = LogMutation(WalRecord::Kind::kDelete, key, "", NextEtag());
+  if (!s.ok()) return s;
+  shard.map.Erase(key);
+  return Status::OK();
+}
+
+Status ShardedStore::ConditionalDelete(const std::string& key,
+                                       uint64_t expected_etag) {
+  if (!open_) return Status::IOError("store not opened");
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const Entry* entry = shard.map.Find(key);
+  if (entry == nullptr) return Status::Conflict("key absent: " + key);
+  if (entry->etag != expected_etag) return Status::Conflict("etag mismatch on " + key);
+  Status s = LogMutation(WalRecord::Kind::kDelete, key, "", NextEtag());
+  if (!s.ok()) return s;
+  shard.map.Erase(key);
+  return Status::OK();
+}
+
+Status ShardedStore::Scan(const std::string& start_key, size_t limit,
+                          std::vector<ScanEntry>* out) {
+  if (!open_) return Status::IOError("store not opened");
+  out->clear();
+  if (limit == 0) return Status::OK();
+  // K-way merge over per-shard iterators under shared locks (taken in index
+  // order, the same order Checkpoint uses, so the two cannot deadlock).
+  // O(limit * log shards) instead of collecting `limit` rows per shard.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  std::vector<SkipList<Entry>::Iterator> iters;
+  iters.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+    iters.emplace_back(&shard->map);
+    iters.back().Seek(start_key);
+  }
+
+  // Max-heap on reversed comparison -> pops smallest key first.
+  auto greater = [&](size_t a, size_t b) { return iters[a].key() > iters[b].key(); };
+  std::vector<size_t> heap;
+  heap.reserve(iters.size());
+  for (size_t i = 0; i < iters.size(); ++i) {
+    if (iters[i].Valid()) heap.push_back(i);
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  out->reserve(std::min(limit, static_cast<size_t>(1024)));
+  while (!heap.empty() && out->size() < limit) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    size_t idx = heap.back();
+    heap.pop_back();
+    out->push_back(
+        ScanEntry{iters[idx].key(), iters[idx].value().value, iters[idx].value().etag});
+    iters[idx].Next();
+    if (iters[idx].Valid()) {
+      heap.push_back(idx);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  return Status::OK();
+}
+
+size_t ShardedStore::Count() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard_ptr->mu);
+    total += shard_ptr->map.size();
+  }
+  return total;
+}
+
+}  // namespace kv
+}  // namespace ycsbt

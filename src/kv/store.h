@@ -1,0 +1,154 @@
+#ifndef YCSBT_KV_STORE_H_
+#define YCSBT_KV_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/skiplist.h"
+#include "kv/wal.h"
+
+namespace ycsbt {
+namespace kv {
+
+/// Sentinel etag meaning "the key must not exist" in conditional writes —
+/// the If-None-Match:* analogue of the cloud-store APIs.
+inline constexpr uint64_t kEtagAbsent = 0;
+
+/// One key/value/etag result row of a scan.
+struct ScanEntry {
+  std::string key;
+  std::string value;
+  uint64_t etag = 0;
+};
+
+/// Configuration of a `ShardedStore`.
+struct StoreOptions {
+  /// Number of hash shards; each shard is an independently locked skip list.
+  int num_shards = 16;
+  /// When non-empty, every mutation is logged here and replayed on open.
+  std::string wal_path;
+  /// fdatasync every WAL append (durability vs latency, paper §II-A).
+  bool sync_wal = false;
+  /// When non-empty, `Checkpoint()` writes full-state snapshots here and
+  /// `Open()` loads the snapshot before replaying the WAL.
+  std::string checkpoint_path;
+};
+
+/// The key-value store interface every substrate in this repo implements:
+/// the local engine below, the simulated cloud stores, and (transactionally)
+/// the client-coordinated transaction library.
+///
+/// Contract highlights, shared with real NoSQL stores:
+///  - every single-key operation is individually atomic and linearizable;
+///  - there is NO multi-key atomicity — that gap is precisely what YCSB+T's
+///    Tier 6 measures and what the txn library closes;
+///  - writes return a fresh etag; conditional writes compare-and-swap on it;
+///  - `Scan` is a best-effort ordered snapshot (not atomic across keys).
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Reads `key` into `*value` (and `*etag` when non-null).
+  virtual Status Get(const std::string& key, std::string* value,
+                     uint64_t* etag = nullptr) = 0;
+
+  /// Unconditionally writes `key`; `*etag_out` receives the new etag.
+  virtual Status Put(const std::string& key, std::string_view value,
+                     uint64_t* etag_out = nullptr) = 0;
+
+  /// Writes `key` only if its current etag equals `expected_etag`
+  /// (`kEtagAbsent` = key must not exist).  Returns Conflict otherwise.
+  /// This is the *test-and-set* primitive the paper notes Percolator fails
+  /// to exploit; the txn library's locking protocol is built on it.
+  virtual Status ConditionalPut(const std::string& key, std::string_view value,
+                                uint64_t expected_etag,
+                                uint64_t* etag_out = nullptr) = 0;
+
+  /// Removes `key`; NotFound if absent.
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// Removes `key` only if its etag matches; Conflict otherwise.
+  virtual Status ConditionalDelete(const std::string& key,
+                                   uint64_t expected_etag) = 0;
+
+  /// Up to `limit` entries with key >= `start_key`, in key order.
+  virtual Status Scan(const std::string& start_key, size_t limit,
+                      std::vector<ScanEntry>* out) = 0;
+
+  /// Number of live keys (approximate under concurrency).
+  virtual size_t Count() const = 0;
+};
+
+/// The local storage engine: hash-sharded skip lists with etagged values and
+/// an optional CRC-checked write-ahead log.
+///
+/// This is the WiredTiger stand-in of the evaluation (DESIGN.md
+/// *Substitutions*): the Tier-6 experiments (Figs 4, 5) run the Closed
+/// Economy Workload against it through the `RawHttpDB` binding.
+class ShardedStore : public Store {
+ public:
+  explicit ShardedStore(StoreOptions options = {});
+  ~ShardedStore() override;
+
+  /// Loads the checkpoint (if configured and present), replays the WAL
+  /// (if configured) and opens it for appending.
+  /// Must be called once before use when `wal_path` is set.
+  Status Open();
+
+  /// Writes a consistent snapshot of the whole store to `checkpoint_path`
+  /// and truncates the WAL (log compaction).  Concurrent writers are
+  /// blocked for the duration (stop-the-world checkpoint — the simple,
+  /// correct variant).  Requires both `checkpoint_path` and `wal_path`.
+  Status Checkpoint();
+
+  Status Get(const std::string& key, std::string* value,
+             uint64_t* etag = nullptr) override;
+  Status Put(const std::string& key, std::string_view value,
+             uint64_t* etag_out = nullptr) override;
+  Status ConditionalPut(const std::string& key, std::string_view value,
+                        uint64_t expected_etag, uint64_t* etag_out = nullptr) override;
+  Status Delete(const std::string& key) override;
+  Status ConditionalDelete(const std::string& key, uint64_t expected_etag) override;
+  Status Scan(const std::string& start_key, size_t limit,
+              std::vector<ScanEntry>* out) override;
+  size_t Count() const override;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t etag = 0;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    SkipList<Entry> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  uint64_t NextEtag() { return etag_source_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  Status LogMutation(WalRecord::Kind kind, const std::string& key,
+                     std::string_view value, uint64_t etag);
+  void ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag);
+
+  StoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> etag_source_{0};
+  WriteAheadLog wal_;
+  bool open_ = false;
+  /// Etag watermark of the loaded checkpoint; WAL records at or below it
+  /// were already folded into the snapshot.
+  uint64_t checkpoint_etag_ = 0;
+};
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_STORE_H_

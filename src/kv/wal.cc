@@ -1,0 +1,142 @@
+#include "kv/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "kv/crc32.h"
+
+namespace ycsbt {
+namespace kv {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// kind(1) + etag(8) + key_len(4) + value_len(4)
+constexpr size_t kHeaderAfterCrc = 1 + 8 + 4 + 4;
+
+std::string EncodeBody(const WalRecord& record) {
+  std::string body;
+  body.reserve(kHeaderAfterCrc + record.key.size() + record.value.size());
+  body.push_back(static_cast<char>(record.kind));
+  PutU64(&body, record.etag);
+  PutU32(&body, static_cast<uint32_t>(record.key.size()));
+  PutU32(&body, static_cast<uint32_t>(record.value.size()));
+  body.append(record.key);
+  body.append(record.value);
+  return body;
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::InvalidArgument("WAL already open");
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return Status::IOError("cannot open WAL: " + path);
+  path_ = path;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(const WalRecord& record, bool sync) {
+  std::string body = EncodeBody(record);
+  uint32_t crc = MaskCrc(Crc32c(body));
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutU32(&frame, crc);
+  frame.append(body);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::IOError("WAL not open");
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("WAL short write");
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  if (sync && ::fdatasync(::fileno(file_)) != 0) {
+    return Status::IOError("WAL fdatasync failed");
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(const std::string& path,
+                             const std::function<void(const WalRecord&)>& apply) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet: empty store
+  std::vector<char> data;
+  {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      data.insert(data.end(), buf, buf + n);
+    }
+  }
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (pos + 4 + kHeaderAfterCrc <= data.size()) {
+    uint32_t stored_crc = GetU32(data.data() + pos);
+    const char* body = data.data() + pos + 4;
+    uint8_t kind = static_cast<uint8_t>(body[0]);
+    uint64_t etag = GetU64(body + 1);
+    uint32_t key_len = GetU32(body + 9);
+    uint32_t value_len = GetU32(body + 13);
+    size_t body_len = kHeaderAfterCrc + static_cast<size_t>(key_len) + value_len;
+    if (pos + 4 + body_len > data.size()) break;  // torn tail
+    if (MaskCrc(Crc32c(body, body_len)) != stored_crc) {
+      // Corrupt record: if it is the final frame treat it as a torn tail,
+      // otherwise the log is damaged in the middle.
+      if (pos + 4 + body_len == data.size()) break;
+      return Status::Corruption("WAL record CRC mismatch at offset " +
+                                std::to_string(pos));
+    }
+    if (kind != static_cast<uint8_t>(WalRecord::Kind::kPut) &&
+        kind != static_cast<uint8_t>(WalRecord::Kind::kDelete)) {
+      return Status::Corruption("WAL record has unknown kind");
+    }
+    WalRecord record;
+    record.kind = static_cast<WalRecord::Kind>(kind);
+    record.etag = etag;
+    record.key.assign(body + kHeaderAfterCrc, key_len);
+    record.value.assign(body + kHeaderAfterCrc + key_len, value_len);
+    apply(record);
+    pos += 4 + body_len;
+  }
+  return Status::OK();
+}
+
+void WriteAheadLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace kv
+}  // namespace ycsbt

@@ -1,0 +1,125 @@
+#include "measurement/exporter.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ycsbt {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextExporter::Export(const RunSummary& summary,
+                                 const std::vector<OpStats>& ops) {
+  std::ostringstream out;
+  if (summary.has_validation) {
+    out << (summary.validation_passed ? "Database validation passed"
+                                      : "Validation failed")
+        << "\n";
+  }
+  for (const auto& [key, value] : summary.extra) {
+    out << "[" << key << "], " << value << "\n";
+  }
+  if (summary.has_validation && !summary.validation_passed) {
+    out << "Database validation failed\n";
+  }
+  out << "[OVERALL], RunTime(ms), " << FormatDouble(summary.runtime_ms) << "\n";
+  out << "[OVERALL], Throughput(ops/sec), "
+      << FormatDouble(summary.throughput_ops_sec) << "\n";
+  for (const auto& op : ops) {
+    if (op.operations == 0) continue;
+    out << "[" << op.name << "], Operations, " << op.operations << "\n";
+    out << "[" << op.name << "], AverageLatency(us), "
+        << FormatDouble(op.average_latency_us) << "\n";
+    out << "[" << op.name << "], MinLatency(us), " << op.min_latency_us << "\n";
+    out << "[" << op.name << "], MaxLatency(us), " << op.max_latency_us << "\n";
+    out << "[" << op.name << "], 50thPercentileLatency(us), " << op.p50_latency_us
+        << "\n";
+    out << "[" << op.name << "], 95thPercentileLatency(us), " << op.p95_latency_us
+        << "\n";
+    out << "[" << op.name << "], 99thPercentileLatency(us), " << op.p99_latency_us
+        << "\n";
+    for (const auto& [code, count] : op.return_counts) {
+      out << "[" << op.name << "], Return=" << code << ", " << count << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string JsonExporter::Export(const RunSummary& summary,
+                                 const std::vector<OpStats>& ops) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"runtime_ms\":" << FormatDouble(summary.runtime_ms) << ",";
+  out << "\"throughput_ops_sec\":" << FormatDouble(summary.throughput_ops_sec)
+      << ",";
+  out << "\"operations\":" << summary.operations << ",";
+  if (summary.has_validation) {
+    out << "\"validation_passed\":" << (summary.validation_passed ? "true" : "false")
+        << ",";
+  }
+  if (!summary.extra.empty()) {
+    out << "\"extra\":{";
+    bool first = true;
+    for (const auto& [key, value] : summary.extra) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+    }
+    out << "},";
+  }
+  out << "\"ops\":[";
+  bool first_op = true;
+  for (const auto& op : ops) {
+    if (op.operations == 0) continue;
+    if (!first_op) out << ",";
+    first_op = false;
+    out << "{\"name\":\"" << JsonEscape(op.name) << "\",";
+    out << "\"operations\":" << op.operations << ",";
+    out << "\"avg_us\":" << FormatDouble(op.average_latency_us) << ",";
+    out << "\"min_us\":" << op.min_latency_us << ",";
+    out << "\"max_us\":" << op.max_latency_us << ",";
+    out << "\"p50_us\":" << op.p50_latency_us << ",";
+    out << "\"p95_us\":" << op.p95_latency_us << ",";
+    out << "\"p99_us\":" << op.p99_latency_us << ",";
+    out << "\"returns\":{";
+    bool first_code = true;
+    for (const auto& [code, count] : op.return_counts) {
+      if (!first_code) out << ",";
+      first_code = false;
+      out << "\"" << JsonEscape(code) << "\":" << count;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace ycsbt

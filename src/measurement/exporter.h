@@ -1,0 +1,51 @@
+#ifndef YCSBT_MEASUREMENT_EXPORTER_H_
+#define YCSBT_MEASUREMENT_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "measurement/measurements.h"
+
+namespace ycsbt {
+
+/// Run-level figures printed ahead of the per-operation series.
+///
+/// `extra` carries workload-specific validation lines; the Closed Economy
+/// Workload fills it with `TOTAL CASH`, `COUNTED CASH`, `ACTUAL OPERATIONS`
+/// and `ANOMALY SCORE`, matching the paper's Listing 3.
+struct RunSummary {
+  double runtime_ms = 0.0;
+  double throughput_ops_sec = 0.0;
+  uint64_t operations = 0;
+  bool has_validation = false;
+  bool validation_passed = true;
+  /// Ordered key/value lines emitted before [OVERALL].
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Renders measurements in the YCSB text format of the paper's Listing 3:
+///
+///   [TOTAL CASH], 1000000
+///   [ANOMALY SCORE], 2.9E-5
+///   [OVERALL], RunTime(ms), 124619.0
+///   [OVERALL], Throughput(ops/sec), 8024.45
+///   [UPDATE], Operations, 200206
+///   [UPDATE], AverageLatency(us), 1536.46
+///   ...
+class TextExporter {
+ public:
+  static std::string Export(const RunSummary& summary,
+                            const std::vector<OpStats>& ops);
+};
+
+/// Renders the same data as a single JSON object (machine-readable runs for
+/// the bench harness and plotting scripts).
+class JsonExporter {
+ public:
+  static std::string Export(const RunSummary& summary,
+                            const std::vector<OpStats>& ops);
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_MEASUREMENT_EXPORTER_H_

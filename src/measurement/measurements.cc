@@ -1,0 +1,86 @@
+#include "measurement/measurements.h"
+
+#include <algorithm>
+
+namespace ycsbt {
+
+void OpSeries::Measure(int64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Add(latency_us);
+}
+
+void OpSeries::ReportStatus(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++return_counts_[status.CodeName()];
+}
+
+OpStats OpSeries::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats s;
+  s.name = name_;
+  s.operations = histogram_.Count();
+  s.average_latency_us = histogram_.Mean();
+  s.min_latency_us = histogram_.Min();
+  s.max_latency_us = histogram_.Max();
+  s.p50_latency_us = histogram_.ValueAtQuantile(0.50);
+  s.p95_latency_us = histogram_.ValueAtQuantile(0.95);
+  s.p99_latency_us = histogram_.ValueAtQuantile(0.99);
+  s.return_counts = return_counts_;
+  return s;
+}
+
+OpSeries* Measurements::GetOrCreate(const std::string& op) {
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = series_.find(op);
+    if (it != series_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  auto& slot = series_[op];
+  if (!slot) slot = std::make_unique<OpSeries>(op);
+  return slot.get();
+}
+
+void Measurements::Measure(const std::string& op, int64_t latency_us) {
+  GetOrCreate(op)->Measure(latency_us);
+}
+
+void Measurements::ReportStatus(const std::string& op, const Status& status) {
+  GetOrCreate(op)->ReportStatus(status);
+}
+
+std::vector<OpStats> Measurements::Snapshot() const {
+  std::vector<OpStats> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    out.reserve(series_.size());
+    for (const auto& [name, series] : series_) out.push_back(series->Snapshot());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpStats& a, const OpStats& b) { return a.name < b.name; });
+  return out;
+}
+
+OpStats Measurements::SnapshotOp(const std::string& op) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = series_.find(op);
+  if (it == series_.end()) {
+    OpStats s;
+    s.name = op;
+    return s;
+  }
+  return it->second->Snapshot();
+}
+
+uint64_t Measurements::TotalOperations(const std::vector<std::string>& ops) const {
+  uint64_t total = 0;
+  for (const auto& op : ops) total += SnapshotOp(op).operations;
+  return total;
+}
+
+void Measurements::Reset() {
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  series_.clear();
+}
+
+}  // namespace ycsbt

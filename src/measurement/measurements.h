@@ -1,0 +1,96 @@
+#ifndef YCSBT_MEASUREMENT_MEASUREMENTS_H_
+#define YCSBT_MEASUREMENT_MEASUREMENTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace ycsbt {
+
+/// Snapshot of one operation series, as consumed by exporters and tests.
+struct OpStats {
+  std::string name;
+  uint64_t operations = 0;
+  double average_latency_us = 0.0;
+  int64_t min_latency_us = 0;
+  int64_t max_latency_us = 0;
+  int64_t p50_latency_us = 0;
+  int64_t p95_latency_us = 0;
+  int64_t p99_latency_us = 0;
+  /// Count of completions per status code name ("OK", "NotFound", ...);
+  /// the analogue of YCSB's `Return=<code>` lines.
+  std::map<std::string, uint64_t> return_counts;
+};
+
+/// One measured operation series: a latency histogram plus return-code
+/// counters.  Thread-safe.
+class OpSeries {
+ public:
+  explicit OpSeries(std::string name) : name_(std::move(name)) {}
+
+  void Measure(int64_t latency_us);
+  void ReportStatus(const Status& status);
+
+  OpStats Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  Histogram histogram_;
+  std::map<std::string, uint64_t> return_counts_;
+};
+
+/// Registry of all operation series produced by a benchmark run.
+///
+/// This is the measurement half of the YCSB+T architecture (paper Fig 1):
+/// the `MeasuredDB` wrapper reports a latency sample and a return code for
+/// every CRUD/scan call and for each `START`/`COMMIT`/`ABORT`, and the client
+/// threads report whole-transaction `TX-<OP>` samples — giving Tier 5 its
+/// transactional-overhead data.
+///
+/// One instance per run (not a process-wide singleton, unlike YCSB) so tests
+/// and multi-run benches can measure in isolation.
+class Measurements {
+ public:
+  Measurements() = default;
+  Measurements(const Measurements&) = delete;
+  Measurements& operator=(const Measurements&) = delete;
+
+  /// Records one latency sample for `op`.
+  void Measure(const std::string& op, int64_t latency_us);
+
+  /// Records the outcome status for one completed `op`.
+  void ReportStatus(const std::string& op, const Status& status);
+
+  /// Snapshot of every series, sorted by op name.
+  std::vector<OpStats> Snapshot() const;
+
+  /// Snapshot of a single series; zeroed stats if the op never ran.
+  OpStats SnapshotOp(const std::string& op) const;
+
+  /// Sum of `operations` across series whose name matches exactly one of the
+  /// workload-level ops (helper for computing overall counts in tests).
+  uint64_t TotalOperations(const std::vector<std::string>& ops) const;
+
+  /// Drops all recorded series.
+  void Reset();
+
+ private:
+  OpSeries* GetOrCreate(const std::string& op);
+
+  mutable std::shared_mutex map_mu_;
+  std::unordered_map<std::string, std::unique_ptr<OpSeries>> series_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_MEASUREMENT_MEASUREMENTS_H_

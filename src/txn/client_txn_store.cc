@@ -1,0 +1,644 @@
+#include "txn/client_txn_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/clock.h"
+#include "common/latency_model.h"
+#include "common/logging.h"
+
+namespace ycsbt {
+namespace txn {
+
+namespace {
+
+/// Chooses the newest committed version of `record` with commit_ts <=
+/// `snapshot_ts`.  Returns OK and fills `*value`/`*version_ts`, or NotFound
+/// when no version is visible.
+Status VisibleVersion(const TxRecord& record, uint64_t snapshot_ts,
+                      std::string* value, uint64_t* version_ts) {
+  if (record.commit_ts != 0 && record.commit_ts <= snapshot_ts) {
+    if (value != nullptr) *value = record.value;
+    if (version_ts != nullptr) *version_ts = record.commit_ts;
+    return Status::OK();
+  }
+  if (record.has_prev && record.prev_commit_ts != 0 &&
+      record.prev_commit_ts <= snapshot_ts) {
+    if (value != nullptr) *value = record.prev_value;
+    if (version_ts != nullptr) *version_ts = record.prev_commit_ts;
+    return Status::OK();
+  }
+  return Status::NotFound("no version visible at snapshot");
+}
+
+bool LeaseExpired(const TxRecord& record, uint64_t lease_us) {
+  return WallMicros() > record.lock_ts + lease_us;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClientTxn
+// ---------------------------------------------------------------------------
+
+/// One in-flight transaction; see the protocol walkthrough on ClientTxnStore.
+class ClientTxn : public Transaction {
+ public:
+  ClientTxn(ClientTxnStore* store, std::string id, uint64_t start_ts)
+      : store_(store), id_(std::move(id)), start_ts_(start_ts) {}
+
+  ~ClientTxn() override {
+    if (state_ == State::kActive) Abort();
+  }
+
+  uint64_t start_ts() const override { return start_ts_; }
+
+  Status Read(const std::string& key, std::string* value) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    // Read-your-writes from the local buffer.
+    auto wit = writes_.find(key);
+    if (wit != writes_.end()) {
+      if (wit->second.is_delete) return Status::NotFound(key);
+      if (value != nullptr) *value = wit->second.value;
+      return Status::OK();
+    }
+
+    TxRecord record;
+    uint64_t etag;
+    Status s = store_->LoadRecord(key, &record, &etag);
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    if (!s.ok()) return s;
+
+    s = ResolveForRead(key, &record, &etag);
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    if (!s.ok()) return s;
+
+    uint64_t version_ts = 0;
+    std::string out;
+    s = VisibleVersion(record, start_ts_, &out, &version_ts);
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    reads_[key] = version_ts;
+    if (value != nullptr) *value = std::move(out);
+    return Status::OK();
+  }
+
+  Status Write(const std::string& key, std::string_view value) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    writes_[key] = PendingWrite{std::string(value), /*is_delete=*/false};
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& key) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    writes_[key] = PendingWrite{std::string(), /*is_delete=*/true};
+    return Status::OK();
+  }
+
+  Status Scan(const std::string& start_key, size_t limit,
+              std::vector<TxScanEntry>* out) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    return store_->ScanSnapshot(start_key, limit, start_ts_, out);
+  }
+
+  Status Commit() override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    if (writes_.empty()) {
+      // Read-only SI transaction: the snapshot is already consistent.
+      state_ = State::kCommitted;
+      store_->commits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    Status s = AcquireLocks();
+    if (!s.ok()) {
+      ReleaseLocks();
+      state_ = State::kAborted;
+      store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+
+    if (store_->options_.isolation == Isolation::kSerializable) {
+      s = ValidateReads();
+      if (!s.ok()) {
+        store_->validation_fails_.fetch_add(1, std::memory_order_relaxed);
+        ReleaseLocks();
+        state_ = State::kAborted;
+        store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+    }
+
+    // Commit point: the TSR write.  Its success makes the transaction
+    // durable even if this client dies before rolling anything forward.
+    uint64_t commit_ts = store_->ts_source_->Next();
+    TsrRecord tsr;
+    tsr.state = TsrRecord::State::kCommitted;
+    tsr.commit_ts = commit_ts;
+    std::string tsr_key = store_->TsrKey(id_);
+    s = store_->base_->ConditionalPut(tsr_key, EncodeTsr(tsr), kv::kEtagAbsent);
+    if (!s.ok()) {
+      // A blocked reader decided the race by planting an ABORTED status
+      // record for us: we may not commit.  Undo the locks and clean up the
+      // planted TSR (all our locks are cleared, so nobody needs it).
+      ReleaseLocks();
+      if (s.IsConflict() && store_->options_.cleanup_tsr) {
+        store_->base_->Delete(tsr_key);
+      }
+      state_ = State::kAborted;
+      store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("commit denied: " + s.ToString());
+    }
+
+    RollForward(commit_ts);
+
+    if (store_->options_.cleanup_tsr) {
+      store_->base_->Delete(tsr_key);  // best effort; recovery handles leftovers
+    }
+    state_ = State::kCommitted;
+    store_->commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Abort() override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    ReleaseLocks();
+    state_ = State::kAborted;
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+ private:
+  enum class State { kActive, kCommitted, kAborted };
+
+  struct PendingWrite {
+    std::string value;
+    bool is_delete = false;
+  };
+
+  struct AcquiredLock {
+    std::string key;
+    uint64_t etag = 0;      // etag of the record *with our lock in place*
+    TxRecord record;        // the locked record as written
+  };
+
+  /// Resolves a foreign lock encountered by a read: consults the owner's TSR
+  /// and recovers expired locks.  Afterwards `record`/`etag` reflect a state
+  /// whose committed versions are safe to read at start_ts_.
+  ///
+  /// Subtlety: the record read and the TSR read are two operations, so an
+  /// absent TSR is ambiguous — the owner may not have committed *yet*, or it
+  /// may have committed, rolled forward and already cleaned its TSR up.  Two
+  /// defences close the race: (1) on TSR-absent the record is re-read, which
+  /// catches the committed-and-cleaned case (the lock is gone); (2) if the
+  /// lock persists past the bounded wait, the reader *decides* the race by
+  /// planting an ABORTED status record — the TSR key's must-not-exist write
+  /// is the atomic arbiter, so either the owner already committed (our plant
+  /// loses and we re-read the TSR) or the owner can never commit (its own
+  /// TSR write will lose) and the old version is definitively correct.
+  Status ResolveForRead(const std::string& key, TxRecord* record, uint64_t* etag) {
+    const int max_attempts = store_->options_.lock_wait_retries;
+    for (int attempt = 0; /* exits below */; ++attempt) {
+      if (!record->Locked()) return Status::OK();
+
+      // Has the owner already committed?  Then its pending write is live.
+      std::string tsr_key = store_->TsrKey(record->lock_owner);
+      std::string tsr_data;
+      Status ts = store_->base_->Get(tsr_key, &tsr_data);
+      if (ts.ok()) {
+        TsrRecord tsr;
+        Status ds = DecodeTsr(tsr_data, &tsr);
+        if (!ds.ok()) return ds;
+        if (tsr.state == TsrRecord::State::kCommitted) {
+          if (LeaseExpired(*record, store_->options_.lock_lease_us)) {
+            // The owner died after its commit point: repair the record in
+            // the store on its behalf, then serve from the repaired state.
+            Status rs = store_->RecoverLock(key, record, etag);
+            if (rs.IsNotFound() || (!rs.ok() && !rs.IsBusy())) return rs;
+            continue;
+          }
+          // Owner is alive and mid-roll-forward: apply the pending write to
+          // our local view only.
+          if (record->pending_delete) {
+            return Status::NotFound(key);
+          }
+          record->RollForward(tsr.commit_ts);
+          return Status::OK();
+        }
+        // Aborted TSR: the pending write never happened; committed versions
+        // in the record are authoritative.
+        return Status::OK();
+      }
+      if (!ts.IsNotFound()) return ts;
+
+      // TSR absent.  An abandoned lock is repaired outright.
+      if (LeaseExpired(*record, store_->options_.lock_lease_us)) {
+        Status rs = store_->RecoverLock(key, record, etag);
+        if (rs.IsNotFound()) return rs;
+        if (!rs.ok() && !rs.IsBusy()) return rs;
+        continue;
+      }
+
+      // Fresh lock, undecided owner: re-read the record.  If the lock moved
+      // (owner finished or someone recovered it) re-evaluate from the fresh
+      // state instead of trusting our possibly-stale copy.
+      TxRecord fresh;
+      uint64_t fresh_etag;
+      Status rl = store_->LoadRecord(key, &fresh, &fresh_etag);
+      if (rl.IsNotFound()) return rl;
+      if (!rl.ok()) return rl;
+      if (fresh_etag != *etag) {
+        *record = std::move(fresh);
+        *etag = fresh_etag;
+        continue;
+      }
+
+      if (attempt < max_attempts) {
+        SleepMicros(store_->options_.lock_wait_delay_us);
+        continue;
+      }
+
+      // Bounded politeness exhausted: settle the outcome.  If our ABORTED
+      // plant wins, the owner's commit point can never succeed and the
+      // committed versions are final; if it loses, the owner committed and
+      // the next loop iteration reads its TSR.
+      TsrRecord aborted;
+      aborted.state = TsrRecord::State::kAborted;
+      Status plant = store_->base_->ConditionalPut(tsr_key, EncodeTsr(aborted),
+                                                   kv::kEtagAbsent);
+      if (plant.ok()) {
+        store_->reader_aborts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      if (!plant.IsConflict()) return plant;
+      // Owner beat us to the TSR; loop re-reads it.
+    }
+  }
+
+  /// Lock acquisition in global key order (deadlock-free by construction).
+  Status AcquireLocks() {
+    uint64_t now_us = WallMicros();
+    for (const auto& [key, pending] : writes_) {  // std::map: sorted keys
+      Status s = AcquireOne(key, pending, now_us);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status AcquireOne(const std::string& key, const PendingWrite& pending,
+                    uint64_t now_us) {
+    for (int attempt = 0; attempt <= store_->options_.lock_wait_retries; ++attempt) {
+      TxRecord record;
+      uint64_t etag = kv::kEtagAbsent;
+      Status s = store_->LoadRecord(key, &record, &etag);
+      if (!s.ok() && !s.IsNotFound()) return s;
+      bool exists = s.ok();
+
+      if (exists && record.Locked()) {
+        if (LeaseExpired(record, store_->options_.lock_lease_us)) {
+          Status rs = store_->RecoverLock(key, &record, &etag);
+          if (!rs.ok() && !rs.IsNotFound() && !rs.IsBusy()) return rs;
+          continue;  // re-read and retry
+        }
+        store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
+        SleepMicros(store_->options_.lock_wait_delay_us);
+        continue;
+      }
+
+      // First-committer-wins: a version committed after our snapshot means a
+      // concurrent transaction beat us to this key.
+      if (exists && record.commit_ts > start_ts_) {
+        store_->conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Conflict("write-write conflict on " + key);
+      }
+      // Commits remove deleted records physically, so a missing record can
+      // itself be the newer version.  Two cases are write-write conflicts:
+      //  - deleting a vanished key (our delete lost to a concurrent one);
+      //  - writing a vanished key our snapshot had READ as existing (a
+      //    concurrent delete committed after our snapshot; recreating the
+      //    record would resurrect it — the lost-delete anomaly).
+      // A blind write to a key the transaction never read keeps insert
+      // semantics.
+      if (!exists) {
+        auto read_it = reads_.find(key);
+        bool saw_it_exist = read_it != reads_.end() && read_it->second != 0;
+        if (pending.is_delete || saw_it_exist) {
+          store_->conflicts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Conflict("key vanished under txn: " + key);
+        }
+      }
+
+      TxRecord locked = exists ? record : TxRecord{};
+      locked.lock_owner = id_;
+      locked.lock_ts = now_us;
+      locked.pending_value = pending.value;
+      locked.pending_delete = pending.is_delete;
+
+      uint64_t new_etag = 0;
+      s = store_->base_->ConditionalPut(key, EncodeTxRecord(locked),
+                                        exists ? etag : kv::kEtagAbsent, &new_etag);
+      if (s.ok()) {
+        acquired_.push_back(AcquiredLock{key, new_etag, std::move(locked)});
+        return Status::OK();
+      }
+      if (!s.IsConflict()) return s;
+      // Someone interleaved between our read and CAS; loop and re-read.
+    }
+    store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("could not lock " + key);
+  }
+
+  /// Serializable mode: every read must still be the latest committed
+  /// version now that all write locks are held.
+  Status ValidateReads() {
+    for (const auto& [key, observed_ts] : reads_) {
+      if (writes_.count(key) != 0) continue;  // re-checked by the lock CAS
+      TxRecord record;
+      uint64_t etag;
+      Status s = store_->LoadRecord(key, &record, &etag);
+      if (s.IsNotFound()) {
+        if (observed_ts == 0) continue;  // still absent
+        return Status::Aborted("validation: " + key + " disappeared");
+      }
+      if (!s.ok()) return s;
+      if (record.Locked()) {
+        return Status::Aborted("validation: " + key + " locked by writer");
+      }
+      if (record.commit_ts != observed_ts) {
+        return Status::Aborted("validation: " + key + " changed");
+      }
+    }
+    return Status::OK();
+  }
+
+  void RollForward(uint64_t commit_ts) {
+    for (auto& lock : acquired_) {
+      Status s;
+      if (lock.record.pending_delete) {
+        s = store_->base_->ConditionalDelete(lock.key, lock.etag);
+      } else {
+        TxRecord rolled = lock.record;
+        rolled.RollForward(commit_ts);
+        s = store_->base_->ConditionalPut(lock.key, EncodeTxRecord(rolled),
+                                          lock.etag);
+      }
+      // A Conflict here means a reader recovered the lock for us after the
+      // TSR became visible — the record already carries the committed state.
+      if (!s.ok() && !s.IsConflict()) {
+        YCSBT_WARN("roll-forward of " << lock.key << " failed: " << s.ToString());
+      }
+    }
+    store_->ts_source_->Observe(commit_ts);
+  }
+
+  /// Abort path: undo every lock we planted (no TSR was written, so readers
+  /// treat the pending values as void).
+  void ReleaseLocks() {
+    for (auto& lock : acquired_) {
+      if (lock.record.commit_ts == 0 && !lock.record.has_prev) {
+        // The record was created solely to carry our lock.
+        store_->base_->ConditionalDelete(lock.key, lock.etag);
+      } else {
+        TxRecord restored = lock.record;
+        restored.ClearLock();
+        store_->base_->ConditionalPut(lock.key, EncodeTxRecord(restored),
+                                      lock.etag);
+      }
+      // Conflicts are fine: a recovering reader already rolled us back.
+    }
+    acquired_.clear();
+  }
+
+  ClientTxnStore* store_;
+  const std::string id_;
+  const uint64_t start_ts_;
+  State state_ = State::kActive;
+
+  std::map<std::string, PendingWrite> writes_;  // sorted: ordered locking
+  std::map<std::string, uint64_t> reads_;       // key -> observed version ts
+  std::vector<AcquiredLock> acquired_;
+};
+
+// ---------------------------------------------------------------------------
+// ClientTxnStore
+// ---------------------------------------------------------------------------
+
+ClientTxnStore::ClientTxnStore(std::shared_ptr<kv::Store> base,
+                               std::shared_ptr<TimestampSource> ts_source,
+                               TxnOptions options)
+    : base_(std::move(base)),
+      ts_source_(std::move(ts_source)),
+      options_(std::move(options)) {
+  Random64 rng(SteadyNanos() ^ reinterpret_cast<uintptr_t>(this));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(rng.Next()));
+  client_id_ = buf;
+}
+
+std::string ClientTxnStore::NextTxnId() {
+  return client_id_ + "-" +
+         std::to_string(txn_counter_.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::unique_ptr<Transaction> ClientTxnStore::Begin() {
+  return std::make_unique<ClientTxn>(this, NextTxnId(), ts_source_->Next());
+}
+
+Status ClientTxnStore::LoadRecord(const std::string& key, TxRecord* record,
+                                  uint64_t* etag) {
+  std::string data;
+  Status s = base_->Get(key, &data, etag);
+  if (!s.ok()) return s;
+  return DecodeTxRecord(data, record);
+}
+
+Status ClientTxnStore::RecoverLock(const std::string& key, TxRecord* record,
+                                   uint64_t* etag) {
+  if (!record->Locked()) return Status::OK();
+  if (!LeaseExpired(*record, options_.lock_lease_us)) return Status::Busy();
+
+  // The owner's TSR decides the lock's fate: committed -> roll forward,
+  // aborted -> roll back.  An *absent* TSR is not enough to roll back: the
+  // owner may merely be slow and could still reach its commit point, which
+  // would tear its transaction in half (this key rolled back, others rolled
+  // forward).  So recovery first *decides* the outcome by planting an
+  // ABORTED status record; the TSR key's must-not-exist write arbitrates
+  // atomically between the recoverer and the owner's commit.
+  std::string tsr_key = TsrKey(record->lock_owner);
+  bool committed = false;
+  uint64_t commit_ts = 0;
+  {
+    std::string tsr_data;
+    Status ts = base_->Get(tsr_key, &tsr_data);
+    if (ts.IsNotFound()) {
+      TsrRecord aborted;
+      aborted.state = TsrRecord::State::kAborted;
+      Status plant =
+          base_->ConditionalPut(tsr_key, EncodeTsr(aborted), kv::kEtagAbsent);
+      if (plant.ok()) {
+        ts = Status::OK();
+        tsr_data = EncodeTsr(aborted);
+      } else if (plant.IsConflict()) {
+        ts = base_->Get(tsr_key, &tsr_data);  // owner just committed/aborted
+      } else {
+        return plant;
+      }
+    }
+    if (ts.ok()) {
+      TsrRecord tsr;
+      Status ds = DecodeTsr(tsr_data, &tsr);
+      if (!ds.ok()) return ds;
+      committed = tsr.state == TsrRecord::State::kCommitted;
+      commit_ts = tsr.commit_ts;
+    } else if (ts.IsNotFound()) {
+      // Owner finished and cleaned its TSR between our Get and the plant's
+      // conflict: its locks are gone; reload and re-evaluate.
+      return LoadRecord(key, record, etag);
+    } else {
+      return ts;
+    }
+  }
+
+  Status s;
+  if (committed) {
+    if (record->pending_delete) {
+      s = base_->ConditionalDelete(key, *etag);
+      if (s.ok()) {
+        roll_forwards_.fetch_add(1, std::memory_order_relaxed);
+        return Status::NotFound(key);
+      }
+    } else {
+      TxRecord rolled = *record;
+      rolled.RollForward(commit_ts);
+      s = base_->ConditionalPut(key, EncodeTxRecord(rolled), *etag, etag);
+      if (s.ok()) {
+        roll_forwards_.fetch_add(1, std::memory_order_relaxed);
+        *record = std::move(rolled);
+        return Status::OK();
+      }
+    }
+  } else {
+    if (record->commit_ts == 0 && !record->has_prev) {
+      // The record existed only to carry the abandoned lock.
+      s = base_->ConditionalDelete(key, *etag);
+      if (s.ok()) {
+        roll_backs_.fetch_add(1, std::memory_order_relaxed);
+        return Status::NotFound(key);
+      }
+    } else {
+      TxRecord restored = *record;
+      restored.ClearLock();
+      s = base_->ConditionalPut(key, EncodeTxRecord(restored), *etag, etag);
+      if (s.ok()) {
+        roll_backs_.fetch_add(1, std::memory_order_relaxed);
+        *record = std::move(restored);
+        return Status::OK();
+      }
+    }
+  }
+  if (!s.IsConflict()) return s;
+  // CAS lost: somebody else recovered (or the owner finished).  Reload so the
+  // caller sees the fresh state.
+  return LoadRecord(key, record, etag);
+}
+
+Status ClientTxnStore::LoadPut(const std::string& key, std::string_view value) {
+  TxRecord record;
+  record.commit_ts = ts_source_->Next();
+  record.value = std::string(value);
+  return base_->Put(key, EncodeTxRecord(record));
+}
+
+Status ClientTxnStore::ReadCommitted(const std::string& key, std::string* value) {
+  TxRecord record;
+  uint64_t etag;
+  Status s = LoadRecord(key, &record, &etag);
+  if (!s.ok()) return s;
+  if (record.Locked()) {
+    // Latest-committed read: a committed TSR means the pending write is live.
+    std::string tsr_data;
+    Status ts = base_->Get(TsrKey(record.lock_owner), &tsr_data);
+    if (ts.ok()) {
+      TsrRecord tsr;
+      Status ds = DecodeTsr(tsr_data, &tsr);
+      if (!ds.ok()) return ds;
+      if (tsr.state == TsrRecord::State::kCommitted) {
+        if (record.pending_delete) return Status::NotFound(key);
+        if (value != nullptr) *value = record.pending_value;
+        return Status::OK();
+      }
+    }
+    if (LeaseExpired(record, options_.lock_lease_us)) {
+      s = RecoverLock(key, &record, &etag);
+      if (s.IsNotFound()) return s;
+      if (!s.ok() && !s.IsBusy()) return s;
+    }
+  }
+  if (record.commit_ts == 0) return Status::NotFound(key);
+  if (value != nullptr) *value = record.value;
+  return Status::OK();
+}
+
+Status ClientTxnStore::ScanSnapshot(const std::string& start_key, size_t limit,
+                                    uint64_t snapshot_ts,
+                                    std::vector<TxScanEntry>* out) {
+  out->clear();
+  std::string cursor = start_key;
+  // TSR keys live under a high prefix; stop before it.
+  const std::string& tsr_prefix = options_.tsr_prefix;
+  while (out->size() < limit) {
+    std::vector<kv::ScanEntry> raw;
+    size_t batch = std::max<size_t>(limit - out->size(), 16);
+    Status s = base_->Scan(cursor, batch, &raw);
+    if (!s.ok()) return s;
+    if (raw.empty()) break;
+    for (const auto& entry : raw) {
+      if (entry.key.compare(0, tsr_prefix.size(), tsr_prefix) == 0) continue;
+      TxRecord record;
+      Status ds = DecodeTxRecord(entry.value, &record);
+      if (!ds.ok()) return ds;
+      std::string value;
+      if (VisibleVersion(record, snapshot_ts, &value, nullptr).ok()) {
+        out->push_back(TxScanEntry{entry.key, std::move(value)});
+        if (out->size() >= limit) break;
+      }
+    }
+    // Advance past the last key of the batch.
+    cursor = raw.back().key + '\0';
+    if (raw.size() < batch) break;  // store exhausted
+  }
+  return Status::OK();
+}
+
+Status ClientTxnStore::ScanCommitted(const std::string& start_key, size_t limit,
+                                     std::vector<TxScanEntry>* out) {
+  // "Latest committed" is a snapshot at infinity.
+  return ScanSnapshot(start_key, limit,
+                      std::numeric_limits<uint64_t>::max(), out);
+}
+
+TxnStats ClientTxnStore::stats() const {
+  TxnStats s;
+  s.commits = commits_.load();
+  s.aborts = aborts_.load();
+  s.conflicts = conflicts_.load();
+  s.lock_busy = lock_busy_.load();
+  s.roll_forwards = roll_forwards_.load();
+  s.roll_backs = roll_backs_.load();
+  s.validation_fails = validation_fails_.load();
+  s.reader_aborts = reader_aborts_.load();
+  return s;
+}
+
+}  // namespace txn
+}  // namespace ycsbt

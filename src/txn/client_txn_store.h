@@ -1,0 +1,116 @@
+#ifndef YCSBT_TXN_CLIENT_TXN_STORE_H_
+#define YCSBT_TXN_CLIENT_TXN_STORE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "txn/record_codec.h"
+#include "txn/timestamp.h"
+#include "txn/transaction.h"
+
+namespace ycsbt {
+namespace txn {
+
+/// The client-coordinated transaction library (the authors' system, paper
+/// §II-B and ref [28]), reimplemented over any `kv::Store` that offers
+/// conditional put.
+///
+/// Protocol summary:
+///  - **Begin**: start_ts from the local timestamp source (HLC by default —
+///    no central oracle, the library's headline difference from
+///    Percolator/ReTSO).
+///  - **Read**: fetch the record, pick the newest committed version with
+///    commit_ts <= start_ts (stepping back to the previous version while a
+///    newer commit is in flight).  A foreign lock past its lease is
+///    *recovered*: the owner's transaction status record (TSR) decides
+///    roll-forward (committed) vs roll-back (absent/aborted).
+///  - **Write/Delete**: buffered locally until commit.
+///  - **Commit**: (1) acquire write locks in global key order — ordered
+///    locking makes deadlock impossible without a lock manager; each lock is
+///    one conditional put that embeds the pending value; (2) conflict check:
+///    any record committed after start_ts aborts us (first-committer-wins,
+///    snapshot isolation); (3) the *commit point*: a must-not-exist
+///    conditional put of the TSR with the commit timestamp; (4) roll every
+///    locked record forward; (5) delete the TSR.
+///  - A client crash between (3) and (5) is repaired by any later reader via
+///    the TSR — the recovery path Tier-5/6 experiments rely on.
+///
+/// Race arbitration (the subtle parts, each regression-tested):
+///  - *Undecided owners*: a lock whose TSR is absent is ambiguous (owner may
+///    be slow, crashed, or already cleaned up).  Recovery and blocked readers
+///    decide the outcome by planting an ABORTED status record with a
+///    must-not-exist put; the TSR key is the single atomic arbiter between
+///    them and the owner's commit point, so a transaction is always
+///    all-or-nothing.
+///  - *Lost deletes*: commits apply deletes physically, destroying version
+///    information, so a write to a vanished key that this transaction had
+///    READ as existing is treated as a first-committer-wins conflict
+///    (recreating it would resurrect the deleted record).  A blind write to
+///    a key the transaction never read keeps insert semantics.
+///
+/// Thread safety: the store object is shared by all client threads; each
+/// `Transaction` belongs to one thread.
+class ClientTxnStore : public TransactionalKV {
+ public:
+  /// @param base underlying store (local engine or simulated cloud store).
+  /// @param ts_source timestamp source shared by this client process.
+  ClientTxnStore(std::shared_ptr<kv::Store> base,
+                 std::shared_ptr<TimestampSource> ts_source, TxnOptions options = {});
+
+  std::unique_ptr<Transaction> Begin() override;
+
+  Status LoadPut(const std::string& key, std::string_view value) override;
+  Status ReadCommitted(const std::string& key, std::string* value) override;
+  Status ScanCommitted(const std::string& start_key, size_t limit,
+                       std::vector<TxScanEntry>* out) override;
+
+  /// Ordered scan of the versions visible at `snapshot_ts` (TSR keys are
+  /// filtered out; in-flight pending writes are ignored).
+  Status ScanSnapshot(const std::string& start_key, size_t limit,
+                      uint64_t snapshot_ts, std::vector<TxScanEntry>* out);
+
+  TxnStats stats() const;
+  const TxnOptions& options() const { return options_; }
+  kv::Store* base() const { return base_.get(); }
+
+ private:
+  friend class ClientTxn;
+
+  /// Reads and decodes `key`'s record.  NotFound when the key is absent.
+  Status LoadRecord(const std::string& key, TxRecord* record, uint64_t* etag);
+
+  /// Repairs an expired foreign lock according to the owner's TSR.  On
+  /// success `*record`/`*etag` hold the post-recovery state.  Returns Busy
+  /// when the lock is fresh.
+  Status RecoverLock(const std::string& key, TxRecord* record, uint64_t* etag);
+
+  std::string TsrKey(const std::string& txn_id) const {
+    return options_.tsr_prefix + txn_id;
+  }
+
+  std::string NextTxnId();
+
+  std::shared_ptr<kv::Store> base_;
+  std::shared_ptr<TimestampSource> ts_source_;
+  TxnOptions options_;
+
+  std::string client_id_;
+  std::atomic<uint64_t> txn_counter_{0};
+
+  // Stats.
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> conflicts_{0};
+  std::atomic<uint64_t> lock_busy_{0};
+  std::atomic<uint64_t> roll_forwards_{0};
+  std::atomic<uint64_t> roll_backs_{0};
+  std::atomic<uint64_t> validation_fails_{0};
+  std::atomic<uint64_t> reader_aborts_{0};
+};
+
+}  // namespace txn
+}  // namespace ycsbt
+
+#endif  // YCSBT_TXN_CLIENT_TXN_STORE_H_

@@ -1,0 +1,231 @@
+#include "txn/local_2pl.h"
+
+#include <chrono>
+
+namespace ycsbt {
+namespace txn {
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+Status LockManager::AcquireShared(uint64_t txn, const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry& entry = table_[key];
+  if (entry.exclusive_owner == txn) return Status::OK();  // already X-held
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us_);
+  ++entry.waiters;
+  bool ok = cv_.wait_until(lock, deadline, [&] {
+    return table_[key].exclusive_owner == 0;
+  });
+  Entry& e = table_[key];
+  --e.waiters;
+  if (!ok) return Status::Busy("S-lock timeout on " + key);
+  e.sharers.insert(txn);
+  return Status::OK();
+}
+
+Status LockManager::AcquireExclusive(uint64_t txn, const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry& entry = table_[key];
+  if (entry.exclusive_owner == txn) return Status::OK();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us_);
+  ++entry.waiters;
+  bool ok = cv_.wait_until(lock, deadline, [&] {
+    Entry& e = table_[key];
+    bool only_self_shares =
+        e.sharers.empty() || (e.sharers.size() == 1 && e.sharers.count(txn) == 1);
+    return e.exclusive_owner == 0 && only_self_shares;
+  });
+  Entry& e = table_[key];
+  --e.waiters;
+  if (!ok) return Status::Busy("X-lock timeout on " + key);
+  e.sharers.erase(txn);  // upgrade consumes the shared hold
+  e.exclusive_owner = txn;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn, const std::set<std::string>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& key : keys) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    Entry& e = it->second;
+    e.sharers.erase(txn);
+    if (e.exclusive_owner == txn) e.exclusive_owner = 0;
+    if (e.sharers.empty() && e.exclusive_owner == 0 && e.waiters == 0) {
+      table_.erase(it);
+    }
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Local2PLTxn
+// ---------------------------------------------------------------------------
+
+/// One strict-2PL transaction: writes apply immediately under exclusive
+/// locks, an undo log restores the pre-image on abort, and every lock is
+/// held until the outcome is decided.
+class Local2PLTxn : public Transaction {
+ public:
+  Local2PLTxn(Local2PLStore* store, uint64_t id)
+      : store_(store), id_(id), start_ts_(id) {}
+
+  ~Local2PLTxn() override {
+    if (state_ == State::kActive) Abort();
+  }
+
+  uint64_t start_ts() const override { return start_ts_; }
+
+  Status Read(const std::string& key, std::string* value) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    Status s = store_->locks_.AcquireShared(id_, key);
+    if (!s.ok()) {
+      store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    locked_.insert(key);
+    return store_->base_->Get(key, value);
+  }
+
+  Status Write(const std::string& key, std::string_view value) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    Status s = Prepare(key);
+    if (!s.ok()) return s;
+    return store_->base_->Put(key, value);
+  }
+
+  Status Delete(const std::string& key) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    Status s = Prepare(key);
+    if (!s.ok()) return s;
+    Status d = store_->base_->Delete(key);
+    return d.IsNotFound() ? Status::OK() : d;
+  }
+
+  Status Scan(const std::string& start_key, size_t limit,
+              std::vector<TxScanEntry>* out) override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    std::vector<kv::ScanEntry> raw;
+    Status s = store_->base_->Scan(start_key, limit, &raw);
+    if (!s.ok()) return s;
+    out->clear();
+    out->reserve(raw.size());
+    for (auto& entry : raw) {
+      out->push_back(TxScanEntry{std::move(entry.key), std::move(entry.value)});
+    }
+    return Status::OK();
+  }
+
+  Status Commit() override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    store_->locks_.ReleaseAll(id_, locked_);
+    state_ = State::kCommitted;
+    store_->commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Abort() override {
+    if (state_ != State::kActive) return Status::InvalidArgument("txn finished");
+    // Undo in reverse order.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      if (it->existed) {
+        store_->base_->Put(it->key, it->old_value);
+      } else {
+        store_->base_->Delete(it->key);  // NotFound is fine
+      }
+    }
+    store_->locks_.ReleaseAll(id_, locked_);
+    state_ = State::kAborted;
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+ private:
+  enum class State { kActive, kCommitted, kAborted };
+
+  struct UndoEntry {
+    std::string key;
+    bool existed = false;
+    std::string old_value;
+  };
+
+  /// Takes the exclusive lock and snapshots the pre-image for undo.
+  Status Prepare(const std::string& key) {
+    Status s = store_->locks_.AcquireExclusive(id_, key);
+    if (!s.ok()) {
+      store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    locked_.insert(key);
+    UndoEntry undo;
+    undo.key = key;
+    std::string old_value;
+    Status g = store_->base_->Get(key, &old_value);
+    if (g.ok()) {
+      undo.existed = true;
+      undo.old_value = std::move(old_value);
+    } else if (!g.IsNotFound()) {
+      return g;
+    }
+    undo_.push_back(std::move(undo));
+    return Status::OK();
+  }
+
+  Local2PLStore* store_;
+  const uint64_t id_;
+  const uint64_t start_ts_;
+  State state_ = State::kActive;
+  std::set<std::string> locked_;
+  std::vector<UndoEntry> undo_;
+};
+
+// ---------------------------------------------------------------------------
+// Local2PLStore
+// ---------------------------------------------------------------------------
+
+Local2PLStore::Local2PLStore(std::shared_ptr<kv::Store> base,
+                             Local2PLOptions options)
+    : base_(std::move(base)),
+      options_(options),
+      locks_(options.lock_timeout_us) {}
+
+std::unique_ptr<Transaction> Local2PLStore::Begin() {
+  return std::make_unique<Local2PLTxn>(
+      this, txn_counter_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Status Local2PLStore::LoadPut(const std::string& key, std::string_view value) {
+  return base_->Put(key, value);
+}
+
+Status Local2PLStore::ReadCommitted(const std::string& key, std::string* value) {
+  return base_->Get(key, value);
+}
+
+Status Local2PLStore::ScanCommitted(const std::string& start_key, size_t limit,
+                                    std::vector<TxScanEntry>* out) {
+  std::vector<kv::ScanEntry> raw;
+  Status s = base_->Scan(start_key, limit, &raw);
+  if (!s.ok()) return s;
+  out->clear();
+  out->reserve(raw.size());
+  for (auto& entry : raw) {
+    out->push_back(TxScanEntry{std::move(entry.key), std::move(entry.value)});
+  }
+  return Status::OK();
+}
+
+TxnStats Local2PLStore::stats() const {
+  TxnStats s;
+  s.commits = commits_.load();
+  s.aborts = aborts_.load();
+  s.lock_busy = lock_busy_.load();
+  return s;
+}
+
+}  // namespace txn
+}  // namespace ycsbt

@@ -1,0 +1,73 @@
+#include "txn/record_codec.h"
+
+#include "common/coding.h"
+
+namespace ycsbt {
+namespace txn {
+
+std::string EncodeTxRecord(const TxRecord& record) {
+  std::string out;
+  out.reserve(64 + record.value.size() + record.prev_value.size() +
+              record.pending_value.size());
+  PutFixed8(&out, 0xB1);  // format tag
+  PutFixed64(&out, record.commit_ts);
+  PutLengthPrefixed(&out, record.value);
+  PutFixed8(&out, record.has_prev ? 1 : 0);
+  PutFixed64(&out, record.prev_commit_ts);
+  PutLengthPrefixed(&out, record.prev_value);
+  PutLengthPrefixed(&out, record.lock_owner);
+  PutFixed64(&out, record.lock_ts);
+  PutLengthPrefixed(&out, record.pending_value);
+  PutFixed8(&out, record.pending_delete ? 1 : 0);
+  return out;
+}
+
+Status DecodeTxRecord(const std::string& data, TxRecord* record) {
+  Decoder dec(data);
+  uint8_t magic = 0, has_prev = 0, pending_delete = 0;
+  if (!dec.GetFixed8(&magic) || magic != 0xB1) {
+    return Status::Corruption("bad TxRecord tag");
+  }
+  if (!dec.GetFixed64(&record->commit_ts) ||
+      !dec.GetLengthPrefixed(&record->value) || !dec.GetFixed8(&has_prev) ||
+      !dec.GetFixed64(&record->prev_commit_ts) ||
+      !dec.GetLengthPrefixed(&record->prev_value) ||
+      !dec.GetLengthPrefixed(&record->lock_owner) ||
+      !dec.GetFixed64(&record->lock_ts) ||
+      !dec.GetLengthPrefixed(&record->pending_value) ||
+      !dec.GetFixed8(&pending_delete)) {
+    return Status::Corruption("truncated TxRecord");
+  }
+  if (!dec.Empty()) return Status::Corruption("trailing bytes in TxRecord");
+  record->has_prev = has_prev != 0;
+  record->pending_delete = pending_delete != 0;
+  return Status::OK();
+}
+
+std::string EncodeTsr(const TsrRecord& tsr) {
+  std::string out;
+  PutFixed8(&out, 0xB2);  // format tag
+  PutFixed8(&out, static_cast<uint8_t>(tsr.state));
+  PutFixed64(&out, tsr.commit_ts);
+  return out;
+}
+
+Status DecodeTsr(const std::string& data, TsrRecord* tsr) {
+  Decoder dec(data);
+  uint8_t magic = 0, state = 0;
+  if (!dec.GetFixed8(&magic) || magic != 0xB2) {
+    return Status::Corruption("bad TSR tag");
+  }
+  if (!dec.GetFixed8(&state) || !dec.GetFixed64(&tsr->commit_ts)) {
+    return Status::Corruption("truncated TSR");
+  }
+  if (state != static_cast<uint8_t>(TsrRecord::State::kCommitted) &&
+      state != static_cast<uint8_t>(TsrRecord::State::kAborted)) {
+    return Status::Corruption("bad TSR state");
+  }
+  tsr->state = static_cast<TsrRecord::State>(state);
+  return Status::OK();
+}
+
+}  // namespace txn
+}  // namespace ycsbt

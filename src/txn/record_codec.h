@@ -1,0 +1,87 @@
+#ifndef YCSBT_TXN_RECORD_CODEC_H_
+#define YCSBT_TXN_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ycsbt {
+namespace txn {
+
+/// The multi-version record the client-coordinated transaction library
+/// stores as the *value* of each user key in the underlying key-value store.
+///
+/// Layout mirrors the description in the paper's §II-B and the PVLDB'13
+/// companion: the record carries the current committed version, the previous
+/// committed version (so snapshot readers can step back one version while a
+/// commit is in flight), and a lock block naming the owning transaction and
+/// its transaction-status record.  Because the whole record is one store
+/// value, every state transition is a single conditional put — the
+/// test-and-set primitive the paper faults Percolator for not using.
+struct TxRecord {
+  // -- committed state --------------------------------------------------
+  /// Commit timestamp of `value`; 0 means "no committed version yet"
+  /// (a record created by an in-flight insert).
+  uint64_t commit_ts = 0;
+  std::string value;
+
+  /// Previous committed version (valid when `has_prev`).
+  bool has_prev = false;
+  uint64_t prev_commit_ts = 0;
+  std::string prev_value;
+
+  // -- lock block (all empty/zero when unlocked) ------------------------
+  /// Id of the transaction holding the write lock; "" = unlocked.
+  std::string lock_owner;
+  /// HLC microseconds when the lock was taken (lease-expiry base).
+  uint64_t lock_ts = 0;
+  /// Proposed new value, applied on roll-forward.
+  std::string pending_value;
+  /// True when the pending write is a delete.
+  bool pending_delete = false;
+
+  bool Locked() const { return !lock_owner.empty(); }
+
+  /// Clears the lock block.
+  void ClearLock() {
+    lock_owner.clear();
+    lock_ts = 0;
+    pending_value.clear();
+    pending_delete = false;
+  }
+
+  /// Promotes the pending write to the committed version at `ts`
+  /// (caller handles pending_delete separately) and clears the lock.
+  void RollForward(uint64_t ts) {
+    has_prev = commit_ts != 0;
+    prev_commit_ts = commit_ts;
+    prev_value = std::move(value);
+    commit_ts = ts;
+    value = std::move(pending_value);
+    ClearLock();
+  }
+};
+
+/// Serialises a TxRecord into a store value.
+std::string EncodeTxRecord(const TxRecord& record);
+
+/// Parses a store value; Corruption on malformed input.
+Status DecodeTxRecord(const std::string& data, TxRecord* record);
+
+/// Transaction status record (TSR): the commit point of the protocol.
+/// Written to `<tsr_prefix><txn_id>` with a conditional must-not-exist put;
+/// its successful write *is* the commit.
+struct TsrRecord {
+  enum class State : uint8_t { kCommitted = 1, kAborted = 2 };
+  State state = State::kCommitted;
+  uint64_t commit_ts = 0;
+};
+
+std::string EncodeTsr(const TsrRecord& tsr);
+Status DecodeTsr(const std::string& data, TsrRecord* tsr);
+
+}  // namespace txn
+}  // namespace ycsbt
+
+#endif  // YCSBT_TXN_RECORD_CODEC_H_

@@ -1,0 +1,121 @@
+#ifndef YCSBT_TXN_TRANSACTION_H_
+#define YCSBT_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/store.h"
+
+namespace ycsbt {
+namespace txn {
+
+/// Isolation level of the client-coordinated library.
+enum class Isolation {
+  /// Snapshot isolation: reads at start_ts, first-committer-wins on writes
+  /// (the level Percolator and the authors' library provide).
+  kSnapshot,
+  /// Snapshot isolation plus commit-time read-set validation (OCC style),
+  /// which additionally rejects read-write conflicts such as write skew.
+  kSerializable,
+};
+
+/// Tuning knobs of the transaction protocol.
+struct TxnOptions {
+  Isolation isolation = Isolation::kSnapshot;
+
+  /// Wall-clock age after which another client's lock is presumed abandoned
+  /// and may be recovered (rolled forward or back via its TSR).
+  uint64_t lock_lease_us = 2'000'000;
+
+  /// Bounded politeness: how many times to re-check a *fresh* foreign lock
+  /// before giving up with Aborted.
+  int lock_wait_retries = 5;
+  uint64_t lock_wait_delay_us = 2'000;
+
+  /// Key prefix for transaction status records.  It sorts above every user
+  /// key (user scans never collide with it); scans from the library filter
+  /// this prefix out regardless.
+  std::string tsr_prefix = "\xFF__tsr__/";
+
+  /// Remove the TSR once all locks are rolled forward (leave it for
+  /// debugging when false; recovery treats a surviving committed TSR
+  /// correctly either way).
+  bool cleanup_tsr = true;
+};
+
+/// One result row of a transactional scan.
+struct TxScanEntry {
+  std::string key;
+  std::string value;
+};
+
+/// A single transaction handle.  Not thread-safe; one client thread each
+/// (the YCSB+T client model).  Obtain from `TransactionalKV::Begin()`.
+///
+/// Lifecycle: any sequence of Read/Write/Delete/Scan, then exactly one of
+/// Commit or Abort.  After either, further operations return InvalidArgument.
+class Transaction {
+ public:
+  virtual ~Transaction() = default;
+
+  /// Snapshot timestamp of this transaction.
+  virtual uint64_t start_ts() const = 0;
+
+  /// Reads `key` as of start_ts (sees this transaction's own writes).
+  virtual Status Read(const std::string& key, std::string* value) = 0;
+
+  /// Buffers a write of `key`; becomes visible to others only after Commit.
+  virtual Status Write(const std::string& key, std::string_view value) = 0;
+
+  /// Buffers a delete of `key`.
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// Ordered scan of committed data as of start_ts.  Buffered writes of this
+  /// transaction are NOT merged into scan results.
+  virtual Status Scan(const std::string& start_key, size_t limit,
+                      std::vector<TxScanEntry>* out) = 0;
+
+  /// Two-phase client-coordinated commit.  Returns Aborted/Conflict when the
+  /// transaction lost a race; the caller may retry the whole transaction.
+  virtual Status Commit() = 0;
+
+  /// Rolls back all buffered writes and releases any acquired locks.
+  virtual Status Abort() = 0;
+};
+
+/// Factory + non-transactional access of a transactional key-value store.
+class TransactionalKV {
+ public:
+  virtual ~TransactionalKV() = default;
+
+  /// Starts a new transaction.
+  virtual std::unique_ptr<Transaction> Begin() = 0;
+
+  /// Non-transactional (auto-committed) helpers, used by the load phase and
+  /// the Tier-6 validation stage.
+  virtual Status LoadPut(const std::string& key, std::string_view value) = 0;
+  virtual Status ReadCommitted(const std::string& key, std::string* value) = 0;
+  virtual Status ScanCommitted(const std::string& start_key, size_t limit,
+                               std::vector<TxScanEntry>* out) = 0;
+};
+
+/// Counters exposed by `ClientTxnStore` for benches and tests.
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t conflicts = 0;       ///< first-committer-wins losses
+  uint64_t lock_busy = 0;       ///< gave up waiting on a fresh foreign lock
+  uint64_t roll_forwards = 0;   ///< recovered another txn's committed locks
+  uint64_t roll_backs = 0;      ///< recovered another txn's abandoned locks
+  uint64_t validation_fails = 0;///< serializable-mode read-set failures
+  uint64_t reader_aborts = 0;   ///< undecided owners aborted by blocked readers
+};
+
+}  // namespace txn
+}  // namespace ycsbt
+
+#endif  // YCSBT_TXN_TRANSACTION_H_

@@ -1,0 +1,95 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ycsbt {
+namespace {
+
+TEST(ClockTest, SteadyNanosMonotone) {
+  uint64_t a = SteadyNanos();
+  uint64_t b = SteadyNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(StopwatchTest, MeasuresSleeps) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMicros(), 18000u);
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), 10000u);
+}
+
+TEST(HlcTest, StrictlyMonotonic) {
+  HybridLogicalClock clock;
+  uint64_t prev = 0;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t now = clock.Now();
+    ASSERT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(HlcTest, MonotonicAcrossThreads) {
+  // Concurrent Now() calls must produce unique, advancing timestamps.
+  HybridLogicalClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<uint64_t>> seen(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      seen[static_cast<size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        seen[static_cast<size_t>(t)].push_back(clock.Now());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::vector<uint64_t> all;
+  for (auto& v : seen) {
+    // Per-thread sequences are strictly increasing.
+    for (size_t i = 1; i < v.size(); ++i) ASSERT_GT(v[i], v[i - 1]);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate timestamp issued";
+}
+
+TEST(HlcTest, ObservePushesClockForward) {
+  HybridLogicalClock clock;
+  uint64_t now = clock.Now();
+  uint64_t remote = now + (1000ull << HybridLogicalClock::kLogicalBits);
+  clock.Observe(remote);
+  EXPECT_GT(clock.Now(), remote);
+}
+
+TEST(HlcTest, ObserveOfPastIsNoop) {
+  HybridLogicalClock clock;
+  uint64_t now = clock.Now();
+  clock.Observe(now / 2);
+  EXPECT_GT(clock.Now(), now);
+}
+
+TEST(HlcTest, PhysicalLogicalRoundTrip) {
+  uint64_t ts = (12345ull << HybridLogicalClock::kLogicalBits) | 42ull;
+  EXPECT_EQ(HybridLogicalClock::Physical(ts), 12345ull);
+  EXPECT_EQ(HybridLogicalClock::Logical(ts), 42ull);
+}
+
+TEST(HlcTest, PhysicalComponentTracksWallClock) {
+  HybridLogicalClock clock;
+  uint64_t wall_before = WallMillis();
+  uint64_t ts = clock.Now();
+  uint64_t wall_after = WallMillis() + 1;
+  uint64_t phys = HybridLogicalClock::Physical(ts);
+  EXPECT_GE(phys, wall_before - 10);
+  EXPECT_LE(phys, wall_after + 10);
+}
+
+}  // namespace
+}  // namespace ycsbt

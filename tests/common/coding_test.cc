@@ -1,0 +1,71 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace ycsbt {
+namespace {
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed8(&buf, 0xAB);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  Decoder dec(buf);
+  uint8_t v8;
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(dec.GetFixed8(&v8));
+  ASSERT_TRUE(dec.GetFixed32(&v32));
+  ASSERT_TRUE(dec.GetFixed64(&v64));
+  EXPECT_EQ(v8, 0xAB);
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string("\0binary\xFF", 8));
+  Decoder dec(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("\0binary\xFF", 8));
+  EXPECT_TRUE(dec.Empty());
+}
+
+TEST(CodingTest, UnderflowDetected) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  Decoder dec(buf);
+  uint64_t v64;
+  EXPECT_FALSE(dec.GetFixed64(&v64));
+}
+
+TEST(CodingTest, TruncatedStringDetected) {
+  std::string buf;
+  PutFixed32(&buf, 100);  // claims 100 bytes follow
+  buf += "short";
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&s));
+}
+
+TEST(CodingTest, RemainingCountsDown) {
+  std::string buf;
+  PutFixed64(&buf, 1);
+  PutFixed32(&buf, 2);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.Remaining(), 12u);
+  uint64_t v64;
+  ASSERT_TRUE(dec.GetFixed64(&v64));
+  EXPECT_EQ(dec.Remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace ycsbt

@@ -1,0 +1,132 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ycsbt {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 42);
+  EXPECT_EQ(h.Max(), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 42);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 42);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below the sub-bucket threshold occupy exact buckets.
+  Histogram h;
+  for (int v = 0; v < 64; ++v) h.Add(v);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 31);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 63);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(HistogramTest, MeanAndStdDev) {
+  Histogram h;
+  for (int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  // Sample stddev of that classic set is ~2.138.
+  EXPECT_NEAR(h.StdDev(), 2.138, 0.01);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorStaysBounded) {
+  // Log-bucketing promises ~1.5% relative error; verify on a wide range.
+  Histogram h;
+  Random64 rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Uniform(1000000)) + 1;
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.03 + 2.0)
+        << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedFeed) {
+  Histogram a, b, combined;
+  Random64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Uniform(100000));
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q));
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(100);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0);
+  h.Add(7);
+  EXPECT_EQ(h.Min(), 7);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(std::numeric_limits<int64_t>::max());
+  h.Add(1);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Max(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.ValueAtQuantile(0.01), 1);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  Random64 rng(3);
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<int64_t>(rng.Uniform(50000)));
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace ycsbt

@@ -1,0 +1,77 @@
+#include "common/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ycsbt {
+namespace {
+
+TEST(LatencyModelTest, DisabledModelSamplesZero) {
+  LatencyModel off;
+  EXPECT_FALSE(off.Enabled());
+  Random64 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(off.SampleMicros(rng), 0u);
+}
+
+TEST(LatencyModelTest, MedianIsApproximatelyConfigured) {
+  LatencyModel model(1500.0, 0.35);
+  Random64 rng(42);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(model.SampleMicros(rng));
+  std::sort(samples.begin(), samples.end());
+  double median = static_cast<double>(samples[samples.size() / 2]);
+  EXPECT_NEAR(median, 1500.0, 100.0);
+}
+
+TEST(LatencyModelTest, HasLognormalRightTail) {
+  LatencyModel model(1500.0, 0.35);
+  Random64 rng(43);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(model.SampleMicros(rng));
+  std::sort(samples.begin(), samples.end());
+  double median = static_cast<double>(samples[samples.size() / 2]);
+  double p99 = static_cast<double>(samples[samples.size() * 99 / 100]);
+  // For lognormal(sigma=0.35): p99/median = exp(0.35 * 2.326) ~ 2.26.
+  EXPECT_GT(p99 / median, 1.8);
+  EXPECT_LT(p99 / median, 3.0);
+  // Mean exceeds median (right skew).
+  double sum = 0;
+  for (auto v : samples) sum += static_cast<double>(v);
+  EXPECT_GT(sum / static_cast<double>(samples.size()), median);
+}
+
+TEST(LatencyModelTest, FloorIsEnforced) {
+  LatencyModel model(1500.0, 1.0, 1200.0);
+  Random64 rng(44);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(model.SampleMicros(rng), 1200u);
+}
+
+TEST(LatencyModelTest, SamplingIsDeterministicGivenRng) {
+  LatencyModel model(1000.0, 0.5);
+  Random64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.SampleMicros(a), model.SampleMicros(b));
+  }
+}
+
+TEST(LatencyModelTest, InjectActuallySleeps) {
+  LatencyModel model(3000.0, 0.0);  // deterministic 3 ms
+  Random64 rng(1);
+  Stopwatch watch;
+  model.Inject(rng);
+  EXPECT_GE(watch.ElapsedMicros(), 2500u);
+}
+
+TEST(SleepMicrosTest, ZeroReturnsImmediately) {
+  Stopwatch watch;
+  SleepMicros(0);
+  EXPECT_LT(watch.ElapsedMicros(), 1000u);
+}
+
+}  // namespace
+}  // namespace ycsbt

@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ycsbt {
+namespace {
+
+TEST(Random64Test, DeterministicForSameSeed) {
+  Random64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random64Test, DifferentSeedsDiverge) {
+  Random64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random64Test, ReseedReplays) {
+  Random64 a(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.Next());
+  a.Seed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Random64Test, UniformStaysInRange) {
+  Random64 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(Random64Test, UniformRangeInclusive) {
+  Random64 rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random64Test, UniformIsRoughlyUniform) {
+  Random64 rng(7);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Random64Test, NextDoubleInUnitInterval) {
+  Random64 rng(8);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(FNVHash64Test, KnownDispersal) {
+  // Sequential inputs must scatter: no two consecutive hashes adjacent.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint64_t h = FNVHash64(i);
+    EXPECT_TRUE(seen.insert(h).second) << "collision at " << i;
+  }
+}
+
+TEST(FNVHash64Test, Deterministic) {
+  EXPECT_EQ(FNVHash64(0), FNVHash64(0));
+  EXPECT_EQ(FNVHash64(123456789), FNVHash64(123456789));
+  EXPECT_NE(FNVHash64(1), FNVHash64(2));
+}
+
+TEST(ThreadLocalRandomTest, DistinctStreamsPerThread) {
+  uint64_t main_value = ThreadLocalRandom().Next();
+  uint64_t other_value = 0;
+  std::thread t([&] { other_value = ThreadLocalRandom().Next(); });
+  t.join();
+  EXPECT_NE(main_value, other_value);
+}
+
+}  // namespace
+}  // namespace ycsbt

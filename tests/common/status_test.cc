@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ycsbt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, FactoryAndPredicateAgree) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::RateLimited().IsRateLimited());
+  EXPECT_TRUE(Status::Timeout().IsTimeout());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+}
+
+TEST(StatusTest, FailureIsNotOk) {
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::Conflict("x").IsNotFound());
+}
+
+TEST(StatusTest, MessageIsCarried) {
+  Status s = Status::Conflict("etag mismatch on user42");
+  EXPECT_EQ(s.message(), "etag mismatch on user42");
+  EXPECT_EQ(s.ToString(), "Conflict: etag mismatch on user42");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(Status::OK().CodeName(), "OK");
+  EXPECT_STREQ(Status::NotFound().CodeName(), "NotFound");
+  EXPECT_STREQ(Status::RateLimited().CodeName(), "RateLimited");
+  EXPECT_STREQ(Status::Corruption().CodeName(), "Corruption");
+}
+
+TEST(StatusTest, RetryableCodes) {
+  EXPECT_TRUE(Status::Conflict().IsRetryable());
+  EXPECT_TRUE(Status::Aborted().IsRetryable());
+  EXPECT_TRUE(Status::Busy().IsRetryable());
+  EXPECT_TRUE(Status::RateLimited().IsRetryable());
+  EXPECT_TRUE(Status::Timeout().IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::NotFound().IsRetryable());
+  EXPECT_FALSE(Status::Corruption().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument().IsRetryable());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Conflict());
+}
+
+}  // namespace
+}  // namespace ycsbt

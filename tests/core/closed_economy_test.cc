@@ -1,0 +1,246 @@
+#include "core/closed_economy_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/field_codec.h"
+#include "db/kvstore_db.h"
+#include "db/txn_db.h"
+#include "txn/client_txn_store.h"
+
+namespace ycsbt {
+namespace core {
+namespace {
+
+Properties CewProps(int64_t records, int64_t cash) {
+  Properties p;
+  p.Set("recordcount", std::to_string(records));
+  p.Set("totalcash", std::to_string(cash));
+  p.Set("requestdistribution", "zipfian");
+  return p;
+}
+
+class ClosedEconomyTest : public ::testing::Test {
+ protected:
+  void LoadAll(ClosedEconomyWorkload& w, DB& db) {
+    auto state = w.InitThread(0, 1);
+    for (uint64_t i = 0; i < w.record_count(); ++i) {
+      ASSERT_TRUE(w.DoInsert(db, state.get()));
+    }
+  }
+
+  int64_t CountedCash(ClosedEconomyWorkload& w, DB& db) {
+    ValidationResult result;
+    EXPECT_TRUE(w.Validate(db, 1, &result).ok());
+    for (auto& [k, v] : result.report) {
+      if (k == "COUNTED CASH") return std::stoll(v);
+    }
+    return -1;
+  }
+};
+
+TEST_F(ClosedEconomyTest, InitDefaultsMatchThePaper) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  ASSERT_TRUE(w.Init(p).ok());
+  EXPECT_EQ(w.total_cash(), 100000);
+  EXPECT_EQ(w.capture_bank(), 0);
+  // Default totalcash gives every account the $1000 of the paper's text.
+  ClosedEconomyWorkload w2;
+  Properties p2;
+  p2.Set("recordcount", "50");
+  ASSERT_TRUE(w2.Init(p2).ok());
+  EXPECT_EQ(w2.total_cash(), 50 * 1000);
+}
+
+TEST_F(ClosedEconomyTest, RejectsInsufficientCash) {
+  ClosedEconomyWorkload w;
+  EXPECT_TRUE(w.Init(CewProps(100, 50)).IsInvalidArgument());
+}
+
+TEST_F(ClosedEconomyTest, LoadDistributesExactlyTotalCash) {
+  ClosedEconomyWorkload w;
+  // 1003 does not divide 100000: the remainder must not be lost.
+  ASSERT_TRUE(w.Init(CewProps(1003, 100000)).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  EXPECT_EQ(CountedCash(w, db), 100000);
+}
+
+TEST_F(ClosedEconomyTest, SerialExecutionHasZeroAnomalyScore) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(200, 200000);
+  p.Set("readproportion", "0.5");
+  p.Set("updateproportion", "0.1");
+  p.Set("insertproportion", "0.1");
+  p.Set("deleteproportion", "0.1");
+  p.Set("scanproportion", "0.05");
+  p.Set("readmodifywriteproportion", "0.15");
+  p.Set("maxscanlength", "10");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+
+  auto state = w.InitThread(0, 1);
+  constexpr int kOps = 5000;
+  for (int i = 0; i < kOps; ++i) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    w.OnTransactionOutcome(state.get(), r, r.ok);
+  }
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, kOps, &result).ok());
+  EXPECT_TRUE(result.performed);
+  EXPECT_TRUE(result.passed)
+      << "single-threaded execution must preserve the invariant";
+  EXPECT_DOUBLE_EQ(result.anomaly_score, 0.0);
+}
+
+TEST_F(ClosedEconomyTest, TransfersMoveMoneyButPreserveSum) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  p.Set("readproportion", "0");
+  p.Set("readmodifywriteproportion", "1.0");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  auto state = w.InitThread(0, 1);
+  for (int i = 0; i < 2000; ++i) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok);
+    ASSERT_STREQ(r.op, "READMODIFYWRITE");
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  EXPECT_EQ(CountedCash(w, db), 100000);
+}
+
+TEST_F(ClosedEconomyTest, DeleteBanksMoneyAndInsertWithdrawsIt) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(50, 50000);
+  p.Set("readproportion", "0");
+  p.Set("deleteproportion", "1.0");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  auto state = w.InitThread(0, 1);
+
+  // Run deletes until the bank holds something.
+  for (int i = 0; i < 20 && w.capture_bank() == 0; ++i) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok);
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  EXPECT_GT(w.capture_bank(), 0);
+  // accounts + bank still == totalcash
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, 20, &result).ok());
+  EXPECT_TRUE(result.passed);
+}
+
+TEST_F(ClosedEconomyTest, AbortedTransactionRefundsTheBank) {
+  // Mixed delete/update workload: deletes fill the capture bank, updates
+  // withdraw from it.  An update whose commit "fails" must refund its
+  // withdrawal — otherwise money would leak out of the economy on aborts.
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(50, 50000);
+  p.Set("readproportion", "0");
+  p.Set("deleteproportion", "0.5");
+  p.Set("updateproportion", "0.5");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  auto state = w.InitThread(0, 1);
+
+  // Commit deletes until the bank holds money.
+  int guard = 0;
+  while (w.capture_bank() == 0 && guard++ < 200) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok);
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  ASSERT_GT(w.capture_bank(), 0);
+
+  // Drive ops until an UPDATE runs, and report its commit as failed.
+  for (int i = 0; i < 200; ++i) {
+    int64_t bank_before = w.capture_bank();
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok);
+    if (std::string(r.op) == "UPDATE") {
+      w.OnTransactionOutcome(state.get(), r, /*committed=*/false);
+      EXPECT_EQ(w.capture_bank(), bank_before)
+          << "aborted update must refund its withdrawal";
+      return;
+    }
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  FAIL() << "no UPDATE operation drawn in 200 tries";
+}
+
+TEST_F(ClosedEconomyTest, ValidationDetectsTampering) {
+  ClosedEconomyWorkload w;
+  ASSERT_TRUE(w.Init(CewProps(100, 100000)).ok());
+  auto store = std::make_shared<kv::ShardedStore>();
+  KvStoreDB db(store);
+  LoadAll(w, db);
+
+  // Steal $7 from some account behind the workload's back.
+  std::vector<kv::ScanEntry> entries;
+  ASSERT_TRUE(store->Scan("", 1, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  FieldMap fields;
+  ASSERT_TRUE(DecodeFields(entries[0].value, &fields).ok());
+  int64_t balance = std::stoll(fields["field0"]);
+  fields["field0"] = std::to_string(balance - 7);
+  ASSERT_TRUE(store->Put(entries[0].key, EncodeFields(fields)).ok());
+
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, 1000, &result).ok());
+  EXPECT_TRUE(result.performed);
+  EXPECT_FALSE(result.passed);
+  EXPECT_DOUBLE_EQ(result.anomaly_score, 7.0 / 1000.0);
+}
+
+TEST_F(ClosedEconomyTest, AnomalyScoreUsesOperationDenominator) {
+  ClosedEconomyWorkload w;
+  ASSERT_TRUE(w.Init(CewProps(10, 10000)).ok());
+  auto store = std::make_shared<kv::ShardedStore>();
+  KvStoreDB db(store);
+  LoadAll(w, db);
+  ValidationResult r1, r2;
+  ASSERT_TRUE(w.Validate(db, 100, &r1).ok());
+  ASSERT_TRUE(w.Validate(db, 10000, &r2).ok());
+  EXPECT_DOUBLE_EQ(r1.anomaly_score, 0.0);
+  EXPECT_DOUBLE_EQ(r2.anomaly_score, 0.0);
+}
+
+TEST_F(ClosedEconomyTest, WholeWorkloadOverTransactionalStoreStaysConsistent) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  p.Set("readproportion", "0.5");
+  p.Set("readmodifywriteproportion", "0.3");
+  p.Set("updateproportion", "0.1");
+  p.Set("deleteproportion", "0.05");
+  p.Set("insertproportion", "0.05");
+  ASSERT_TRUE(w.Init(p).ok());
+  auto base = std::make_shared<kv::ShardedStore>();
+  auto txn_store = std::make_shared<txn::ClientTxnStore>(
+      base, std::make_shared<txn::HlcTimestampSource>());
+  TxnDB db(txn_store);
+  LoadAll(w, db);
+
+  auto state = w.InitThread(0, 1);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db.Start().ok());
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    bool committed = r.ok && db.Commit().ok();
+    if (!r.ok) db.Abort();
+    w.OnTransactionOutcome(state.get(), r, committed);
+  }
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, 2000, &result).ok());
+  EXPECT_TRUE(result.passed);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ycsbt

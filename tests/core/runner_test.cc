@@ -1,0 +1,225 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/core_workload.h"
+#include "db/measured_db.h"
+
+namespace ycsbt {
+namespace core {
+namespace {
+
+Properties Props(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  Properties p;
+  for (auto& [k, v] : kv) p.Set(k, v);
+  return p;
+}
+
+/// Workload stub that counts calls; lets runner tests assert scheduling
+/// behaviour without a real store.
+class CountingWorkload : public Workload {
+ public:
+  Status Init(const Properties&) override { return Status::OK(); }
+
+  bool DoInsert(DB&, ThreadState*) override {
+    inserts.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  TxnOpResult DoTransaction(DB&, ThreadState*) override {
+    transactions.fetch_add(1, std::memory_order_relaxed);
+    return TxnOpResult{!fail_all, "READ"};
+  }
+
+  void OnTransactionOutcome(ThreadState*, const TxnOpResult&, bool committed) override {
+    (committed ? committed_outcomes : failed_outcomes)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t record_count() const override { return records; }
+
+  uint64_t records = 100;
+  bool fail_all = false;
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> transactions{0};
+  std::atomic<uint64_t> committed_outcomes{0};
+  std::atomic<uint64_t> failed_outcomes{0};
+};
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    factory_ = std::make_unique<DBFactory>(Props({{"db", "memkv"}}));
+    ASSERT_TRUE(factory_->Init().ok());
+  }
+
+  std::unique_ptr<DBFactory> factory_;
+  Measurements measurements_;
+};
+
+TEST_F(RunnerTest, LoadInsertsExactlyRecordCountAcrossThreads) {
+  CountingWorkload w;
+  w.records = 103;  // not divisible by thread count
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  LoadOptions load;
+  load.threads = 4;
+  ASSERT_TRUE(runner.Load(load).ok());
+  EXPECT_EQ(w.inserts.load(), 103u);
+}
+
+TEST_F(RunnerTest, RunExecutesExactOperationBudget) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 3;
+  run.operation_count = 1000;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(result.operations, 1000u);
+  EXPECT_EQ(w.transactions.load(), 1000u);
+  EXPECT_EQ(result.committed, 1000u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.throughput_ops_sec, 0.0);
+}
+
+TEST_F(RunnerTest, RunWithoutBoundsIsRejected) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunResult result;
+  EXPECT_TRUE(runner.Run(RunOptions{}, &result).IsInvalidArgument());
+}
+
+TEST_F(RunnerTest, TimeBoundStopsUnboundedRun) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 2;
+  run.operation_count = 0;  // unbounded
+  run.max_execution_seconds = 0.3;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_GT(result.operations, 0u);
+  EXPECT_GE(result.runtime_ms, 250.0);
+  EXPECT_LT(result.runtime_ms, 5000.0);
+}
+
+TEST_F(RunnerTest, FailedTransactionsAreAborted) {
+  CountingWorkload w;
+  w.fail_all = true;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.operation_count = 50;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(result.failed, 50u);
+  EXPECT_EQ(result.committed, 0u);
+  EXPECT_EQ(w.failed_outcomes.load(), 50u);
+  // With wrapping on, every failed workload op must have called Abort.
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kAbort).operations, 50u);
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kCommit).operations, 0u);
+}
+
+TEST_F(RunnerTest, WrappingEmitsStartAndCommitSeries) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.operation_count = 20;
+  run.wrap_in_transactions = true;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kStart).operations, 20u);
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kCommit).operations, 20u);
+  EXPECT_EQ(measurements_.SnapshotOp("TX-READ").operations, 20u);
+}
+
+TEST_F(RunnerTest, UnwrappedRunEmitsNoTransactionSeries) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.operation_count = 20;
+  run.wrap_in_transactions = false;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kStart).operations, 0u);
+  EXPECT_EQ(measurements_.SnapshotOp(opname::kCommit).operations, 0u);
+  // The whole-op series still exists (it measures the workload op itself).
+  EXPECT_EQ(measurements_.SnapshotOp("TX-READ").operations, 20u);
+}
+
+TEST_F(RunnerTest, TargetThroughputIsRoughlyHonoured) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 2;
+  run.operation_count = 200;
+  run.target_ops_per_sec = 1000.0;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  // 200 ops at 1000/s should take ~0.2 s; allow generous slack.
+  EXPECT_GT(result.runtime_ms, 120.0);
+  EXPECT_LT(result.throughput_ops_sec, 2000.0);
+}
+
+TEST_F(RunnerTest, OutcomeHookSeesCommitVerdict) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.operation_count = 30;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(w.committed_outcomes.load(), 30u);
+  EXPECT_EQ(w.failed_outcomes.load(), 0u);
+}
+
+TEST_F(RunnerTest, StatusCallbackSamplesProgress) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 2;
+  run.operation_count = 0;
+  run.max_execution_seconds = 0.35;
+  run.status_interval_seconds = 0.1;
+  std::atomic<int> samples{0};
+  std::atomic<uint64_t> last_ops{0};
+  run.status_callback = [&](double elapsed, uint64_t ops, double rate) {
+    EXPECT_GT(elapsed, 0.0);
+    EXPECT_GE(ops, last_ops.load());
+    EXPECT_GE(rate, 0.0);
+    last_ops.store(ops);
+    samples.fetch_add(1);
+  };
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_GE(samples.load(), 2);
+  EXPECT_LE(samples.load(), 6);
+}
+
+TEST_F(RunnerTest, MakeSummaryCarriesValidation) {
+  RunResult result;
+  result.runtime_ms = 1000;
+  result.throughput_ops_sec = 42;
+  result.operations = 42;
+  result.validation.performed = true;
+  result.validation.passed = false;
+  result.validation.report = {{"ANOMALY SCORE", "0.5"}};
+  RunSummary summary = result.MakeSummary();
+  EXPECT_TRUE(summary.has_validation);
+  EXPECT_FALSE(summary.validation_passed);
+  ASSERT_EQ(summary.extra.size(), 1u);
+  EXPECT_EQ(summary.extra[0].first, "ANOMALY SCORE");
+}
+
+TEST_F(RunnerTest, AbortRateComputed) {
+  RunResult result;
+  result.operations = 100;
+  result.failed = 25;
+  EXPECT_DOUBLE_EQ(result.abort_rate(), 0.25);
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(empty.abort_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ycsbt

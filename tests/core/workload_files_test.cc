@@ -1,0 +1,70 @@
+// Compatibility sweep over the shipped properties files: every workload in
+// workloads/ must parse, load, run and (where defined) validate against both
+// a plain binding and the transactional one — the paper's backward
+// compatibility and migration story, end to end.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/benchmark.h"
+
+#ifndef YCSBT_WORKLOADS_DIR
+#define YCSBT_WORKLOADS_DIR "workloads"
+#endif
+
+namespace ycsbt {
+namespace core {
+namespace {
+
+class WorkloadFileTest : public ::testing::TestWithParam<const char*> {};
+
+Properties LoadFile(const std::string& name) {
+  Properties p;
+  EXPECT_TRUE(
+      p.LoadFromFile(std::string(YCSBT_WORKLOADS_DIR) + "/" + name).ok())
+      << name;
+  // Shrink for test speed; the files themselves stay paper-sized.
+  p.Set("recordcount", p.Get("workload") == "write_skew" ? "100" : "200");
+  p.Set("operationcount", "500");
+  p.Set("maxscanlength", "20");
+  p.Set("threads", "2");
+  return p;
+}
+
+TEST_P(WorkloadFileTest, RunsOnPlainBinding) {
+  Properties p = LoadFile(GetParam());
+  p.Set("db", "memkv");
+  p.Set("dotransactions", "false");  // plain-YCSB mode
+  RunResult result;
+  ASSERT_TRUE(RunBenchmark(p, &result).ok()) << GetParam();
+  EXPECT_EQ(result.operations, 500u);
+}
+
+TEST_P(WorkloadFileTest, RunsWrappedOnTransactionalBinding) {
+  Properties p = LoadFile(GetParam());
+  p.Set("db", "txn+memkv");
+  p.Set("dotransactions", "true");
+  RunResult result;
+  ASSERT_TRUE(RunBenchmark(p, &result).ok()) << GetParam();
+  EXPECT_EQ(result.operations, result.committed + result.failed);
+  if (result.validation.performed) {
+    EXPECT_TRUE(result.validation.passed)
+        << GetParam() << ": transactional run must validate clean";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShippedFiles, WorkloadFileTest,
+    ::testing::Values("workloada.properties", "workloadb.properties",
+                      "workloadc.properties", "workloadd.properties",
+                      "workloade.properties", "workloadf.properties",
+                      "closed_economy.properties", "write_skew.properties"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      return name.substr(0, name.find('.'));
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace ycsbt

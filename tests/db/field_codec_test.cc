@@ -1,0 +1,75 @@
+#include "db/field_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace ycsbt {
+namespace {
+
+TEST(FieldCodecTest, RoundTripEmpty) {
+  FieldMap in, out;
+  ASSERT_TRUE(DecodeFields(EncodeFields(in), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FieldCodecTest, RoundTripTypicalRecord) {
+  FieldMap in;
+  for (int i = 0; i < 10; ++i) {
+    in["field" + std::to_string(i)] = std::string(100, static_cast<char>('a' + i));
+  }
+  FieldMap out;
+  ASSERT_TRUE(DecodeFields(EncodeFields(in), &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(FieldCodecTest, BinarySafe) {
+  FieldMap in;
+  in[std::string("k\0ey", 4)] = std::string("\xFF\x00\x01", 3);
+  FieldMap out;
+  ASSERT_TRUE(DecodeFields(EncodeFields(in), &out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(FieldCodecTest, ProjectionKeepsOnlyRequested) {
+  FieldMap in = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  std::vector<std::string> projection = {"a", "c"};
+  FieldMap out;
+  ASSERT_TRUE(DecodeFieldsProjected(EncodeFields(in), &projection, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out["a"], "1");
+  EXPECT_EQ(out["c"], "3");
+  EXPECT_EQ(out.count("b"), 0u);
+}
+
+TEST(FieldCodecTest, NullProjectionKeepsAll) {
+  FieldMap in = {{"a", "1"}, {"b", "2"}};
+  FieldMap out;
+  ASSERT_TRUE(DecodeFieldsProjected(EncodeFields(in), nullptr, &out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(FieldCodecTest, MergeReplacesNamedFieldsOnly) {
+  FieldMap base = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  FieldMap updates = {{"b", "NEW"}, {"d", "ADDED"}};
+  std::string merged;
+  ASSERT_TRUE(MergeFields(EncodeFields(base), updates, &merged).ok());
+  FieldMap out;
+  ASSERT_TRUE(DecodeFields(merged, &out).ok());
+  EXPECT_EQ(out["a"], "1");
+  EXPECT_EQ(out["b"], "NEW");
+  EXPECT_EQ(out["c"], "3");
+  EXPECT_EQ(out["d"], "ADDED");
+}
+
+TEST(FieldCodecTest, RejectsGarbage) {
+  FieldMap out;
+  EXPECT_TRUE(DecodeFields("", &out).IsCorruption());
+  EXPECT_TRUE(DecodeFields("garbage", &out).IsCorruption());
+  std::string truncated = EncodeFields({{"key", "value"}});
+  truncated.resize(truncated.size() - 3);
+  EXPECT_TRUE(DecodeFields(truncated, &out).IsCorruption());
+  std::string padded = EncodeFields({{"k", "v"}}) + "x";
+  EXPECT_TRUE(DecodeFields(padded, &out).IsCorruption());
+}
+
+}  // namespace
+}  // namespace ycsbt

@@ -1,0 +1,78 @@
+#include "db/measured_db.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/basic_db.h"
+#include "db/kvstore_db.h"
+
+namespace ycsbt {
+namespace {
+
+TEST(MeasuredDBTest, RecordsEverySeries) {
+  Measurements m;
+  MeasuredDB db(std::make_unique<BasicDB>(), &m);
+  FieldMap fields = {{"f", "v"}};
+  FieldMap result;
+  std::vector<ScanRow> rows;
+  db.Insert("t", "k", fields);
+  db.Read("t", "k", nullptr, &result);
+  db.Update("t", "k", fields);
+  db.Scan("t", "k", 5, nullptr, &rows);
+  db.Delete("t", "k");
+  db.Start();
+  db.Commit();
+  db.Start();
+  db.Abort();
+
+  EXPECT_EQ(m.SnapshotOp(opname::kInsert).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kRead).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kUpdate).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kScan).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kDelete).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kStart).operations, 2u);
+  EXPECT_EQ(m.SnapshotOp(opname::kCommit).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kAbort).operations, 1u);
+}
+
+TEST(MeasuredDBTest, RecordsReturnCodes) {
+  Measurements m;
+  MeasuredDB db(std::make_unique<KvStoreDB>(std::make_shared<kv::ShardedStore>()),
+                &m);
+  FieldMap result;
+  db.Read("t", "missing", nullptr, &result);  // NotFound
+  db.Insert("t", "k", {{"f", "v"}});
+  db.Read("t", "k", nullptr, &result);  // OK
+  OpStats reads = m.SnapshotOp(opname::kRead);
+  EXPECT_EQ(reads.return_counts["NotFound"], 1u);
+  EXPECT_EQ(reads.return_counts["OK"], 1u);
+}
+
+TEST(MeasuredDBTest, LatencyReflectsInnerCost) {
+  Measurements m;
+  MeasuredDB db(std::make_unique<BasicDB>(/*simulate_delay_us=*/3000), &m);
+  FieldMap result;
+  db.Read("t", "k", nullptr, &result);
+  OpStats reads = m.SnapshotOp(opname::kRead);
+  EXPECT_EQ(reads.operations, 1u);
+  EXPECT_GE(reads.average_latency_us, 1000.0);
+}
+
+TEST(MeasuredDBTest, PropagatesInnerStatus) {
+  Measurements m;
+  MeasuredDB db(std::make_unique<KvStoreDB>(std::make_shared<kv::ShardedStore>()),
+                &m);
+  FieldMap result;
+  EXPECT_TRUE(db.Read("t", "missing", nullptr, &result).IsNotFound());
+  EXPECT_TRUE(db.Update("t", "missing", {{"f", "v"}}).IsNotFound());
+}
+
+TEST(MeasuredDBTest, ForwardsTransactionality) {
+  Measurements m;
+  MeasuredDB non_tx(std::make_unique<BasicDB>(), &m);
+  EXPECT_FALSE(non_tx.Transactional());
+}
+
+}  // namespace
+}  // namespace ycsbt

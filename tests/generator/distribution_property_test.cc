@@ -1,0 +1,121 @@
+// Parameterised property sweeps over the generator suite: every request
+// distribution the CoreWorkload accepts must (a) stay inside its configured
+// interval, (b) eventually touch both ends of the interval, and (c) be
+// deterministic given the RNG seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "generator/exponential_generator.h"
+#include "generator/generator.h"
+#include "generator/hotspot_generator.h"
+#include "generator/scrambled_zipfian_generator.h"
+#include "generator/sequential_generator.h"
+#include "generator/uniform_generator.h"
+#include "generator/zipfian_generator.h"
+
+namespace ycsbt {
+namespace {
+
+struct DistCase {
+  std::string name;
+  uint64_t lo;
+  uint64_t hi;
+  bool covers_extremes;  // exponential is unbounded above, skip (b)
+};
+
+std::unique_ptr<IntegerGenerator> Make(const DistCase& c) {
+  if (c.name == "uniform") return std::make_unique<UniformLongGenerator>(c.lo, c.hi);
+  if (c.name == "zipfian") return std::make_unique<ZipfianGenerator>(c.lo, c.hi);
+  if (c.name == "scrambled") {
+    return std::make_unique<ScrambledZipfianGenerator>(c.lo, c.hi);
+  }
+  if (c.name == "hotspot") {
+    return std::make_unique<HotspotIntegerGenerator>(c.lo, c.hi, 0.2, 0.8);
+  }
+  if (c.name == "sequential") {
+    return std::make_unique<SequentialGenerator>(c.lo, c.hi);
+  }
+  return nullptr;
+}
+
+class BoundedDistributionTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(BoundedDistributionTest, StaysInInterval) {
+  auto gen = Make(GetParam());
+  ASSERT_NE(gen, nullptr);
+  Random64 rng(1234);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t v = gen->Next(rng);
+    ASSERT_GE(v, GetParam().lo);
+    ASSERT_LE(v, GetParam().hi);
+  }
+}
+
+TEST_P(BoundedDistributionTest, TouchesBothEnds) {
+  if (!GetParam().covers_extremes) GTEST_SKIP();
+  auto gen = Make(GetParam());
+  Random64 rng(99);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 300000 && !(lo && hi); ++i) {
+    uint64_t v = gen->Next(rng);
+    lo |= v == GetParam().lo;
+    hi |= v == GetParam().hi;
+  }
+  EXPECT_TRUE(lo) << "never produced the lower bound";
+  EXPECT_TRUE(hi) << "never produced the upper bound";
+}
+
+TEST_P(BoundedDistributionTest, DeterministicGivenSeed) {
+  auto g1 = Make(GetParam());
+  auto g2 = Make(GetParam());
+  Random64 r1(777), r2(777);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(g1->Next(r1), g2->Next(r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, BoundedDistributionTest,
+    ::testing::Values(DistCase{"uniform", 0, 99, true},
+                      DistCase{"uniform", 1000, 1000, true},
+                      DistCase{"zipfian", 0, 999, true},
+                      DistCase{"zipfian", 50, 149, true},
+                      DistCase{"scrambled", 0, 999, true},
+                      DistCase{"scrambled", 7, 7, true},
+                      DistCase{"hotspot", 0, 999, true},
+                      DistCase{"sequential", 3, 12, true}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.name + "_" + std::to_string(info.param.lo) + "_" +
+             std::to_string(info.param.hi);
+    });
+
+// Zipfian skew sweep: heavier theta concentrates more mass on the head.
+class ZipfianThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianThetaTest, HeadShareMatchesTheory) {
+  double theta = GetParam();
+  ZipfianGenerator gen(0, 999, theta);
+  Random64 rng(5);
+  int head = 0;
+  constexpr int kSamples = 150000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(rng) == 0) ++head;
+  }
+  double expected = 1.0 / ZipfianGenerator::Zeta(1000, theta);
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, expected,
+              expected * 0.15 + 0.002)
+      << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, ZipfianThetaTest,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.99),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "theta_" +
+                                  std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace ycsbt

@@ -1,0 +1,50 @@
+#include "kv/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ycsbt {
+namespace kv {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::string data = "the quick brown fox";
+  uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 1);
+    EXPECT_NE(Crc32c(mutated), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32cTest, SeedChaining) {
+  // CRC of a seeded continuation differs from unseeded.
+  uint32_t a = Crc32c(std::string_view("abc"));
+  uint32_t b = Crc32c(std::string_view("abc"), a);
+  EXPECT_NE(a, b);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+TEST(Crc32cTest, StringViewOverloadAgrees) {
+  std::string s = "hello world";
+  EXPECT_EQ(Crc32c(s), Crc32c(s.data(), s.size()));
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace ycsbt

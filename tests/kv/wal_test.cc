@@ -1,0 +1,146 @@
+#include "kv/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace ycsbt {
+namespace kv {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<WalRecord> ReplayAll(Status* status = nullptr) {
+    std::vector<WalRecord> records;
+    Status s = WriteAheadLog::Replay(
+        path_, [&](const WalRecord& r) { records.push_back(r); });
+    if (status != nullptr) *status = s;
+    return records;
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, ReplayOfMissingFileIsEmpty) {
+  Status s;
+  auto records = ReplayAll(&s);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(WalTest, AppendReplayRoundTrip) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  WalRecord put{WalRecord::Kind::kPut, 7, "user1", "value1"};
+  WalRecord del{WalRecord::Kind::kDelete, 0, "user2", ""};
+  ASSERT_TRUE(wal.Append(put, false).ok());
+  ASSERT_TRUE(wal.Append(del, true).ok());
+  wal.Close();
+
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, WalRecord::Kind::kPut);
+  EXPECT_EQ(records[0].etag, 7u);
+  EXPECT_EQ(records[0].key, "user1");
+  EXPECT_EQ(records[0].value, "value1");
+  EXPECT_EQ(records[1].kind, WalRecord::Kind::kDelete);
+  EXPECT_EQ(records[1].key, "user2");
+}
+
+TEST_F(WalTest, BinaryKeysAndValuesSurvive) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  std::string bin_key("\x00\xFF\x01", 3);
+  std::string bin_val(1024, '\xAB');
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, bin_key, bin_val}, false).ok());
+  wal.Close();
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, bin_key);
+  EXPECT_EQ(records[0].value, bin_val);
+}
+
+TEST_F(WalTest, TornTailIsIgnored) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "a", "1"}, false).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 2, "b", "2"}, false).ok());
+  wal.Close();
+
+  // Truncate mid-record: crash during the final append.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 3));
+  out.close();
+
+  Status s;
+  auto records = ReplayAll(&s);
+  EXPECT_TRUE(s.ok());  // clean stop at the torn tail
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "a");
+}
+
+TEST_F(WalTest, CorruptionInTheMiddleIsReported) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "a", "1"}, false).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 2, "b", "2"}, false).ok());
+  wal.Close();
+
+  // Flip a byte inside the FIRST record's payload.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(10);
+  char c;
+  f.seekg(10);
+  f.get(c);
+  f.seekp(10);
+  f.put(static_cast<char>(c ^ 0xFF));
+  f.close();
+
+  Status s;
+  ReplayAll(&s);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST_F(WalTest, AppendAfterCloseFails) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  wal.Close();
+  EXPECT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "k", "v"}, false).IsIOError());
+}
+
+TEST_F(WalTest, DoubleOpenRejected) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  EXPECT_TRUE(wal.Open(path_).IsInvalidArgument());
+}
+
+TEST_F(WalTest, ReopenAppends) {
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "a", "1"}, false).ok());
+  }
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 2, "b", "2"}, false).ok());
+  }
+  EXPECT_EQ(ReplayAll().size(), 2u);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace ycsbt

@@ -1,0 +1,108 @@
+#include "measurement/exporter.h"
+
+#include <gtest/gtest.h>
+
+namespace ycsbt {
+namespace {
+
+RunSummary CewSummary() {
+  RunSummary s;
+  s.runtime_ms = 124619.0;
+  s.throughput_ops_sec = 8024.46;
+  s.operations = 1000000;
+  s.has_validation = true;
+  s.validation_passed = false;
+  s.extra = {{"TOTAL CASH", "1000000"},
+             {"COUNTED CASH", "999971"},
+             {"ACTUAL OPERATIONS", "1000000"},
+             {"ANOMALY SCORE", "2.9e-05"}};
+  return s;
+}
+
+std::vector<OpStats> SampleOps() {
+  OpStats read;
+  read.name = "READ";
+  read.operations = 1110103;
+  read.average_latency_us = 1522.26;
+  read.min_latency_us = 1174;
+  read.max_latency_us = 165508;
+  read.p50_latency_us = 1500;
+  read.p95_latency_us = 2100;
+  read.p99_latency_us = 4000;
+  read.return_counts["OK"] = 1110103;
+  OpStats idle;
+  idle.name = "NEVER-RAN";
+  return {read, idle};
+}
+
+TEST(TextExporterTest, MatchesListing3Shape) {
+  std::string out = TextExporter::Export(CewSummary(), SampleOps());
+  EXPECT_NE(out.find("Validation failed"), std::string::npos);
+  EXPECT_NE(out.find("[TOTAL CASH], 1000000"), std::string::npos);
+  EXPECT_NE(out.find("[COUNTED CASH], 999971"), std::string::npos);
+  EXPECT_NE(out.find("[ANOMALY SCORE], 2.9e-05"), std::string::npos);
+  EXPECT_NE(out.find("Database validation failed"), std::string::npos);
+  EXPECT_NE(out.find("[OVERALL], RunTime(ms), 124619"), std::string::npos);
+  EXPECT_NE(out.find("[OVERALL], Throughput(ops/sec), 8024.46"), std::string::npos);
+  EXPECT_NE(out.find("[READ], Operations, 1110103"), std::string::npos);
+  EXPECT_NE(out.find("[READ], AverageLatency(us), 1522.26"), std::string::npos);
+  EXPECT_NE(out.find("[READ], MinLatency(us), 1174"), std::string::npos);
+  EXPECT_NE(out.find("[READ], MaxLatency(us), 165508"), std::string::npos);
+  EXPECT_NE(out.find("[READ], Return=OK, 1110103"), std::string::npos);
+}
+
+TEST(TextExporterTest, SkipsEmptySeries) {
+  std::string out = TextExporter::Export(CewSummary(), SampleOps());
+  EXPECT_EQ(out.find("NEVER-RAN"), std::string::npos);
+}
+
+TEST(TextExporterTest, PassedValidationHeader) {
+  RunSummary s = CewSummary();
+  s.validation_passed = true;
+  std::string out = TextExporter::Export(s, {});
+  EXPECT_NE(out.find("Database validation passed"), std::string::npos);
+  EXPECT_EQ(out.find("Database validation failed"), std::string::npos);
+}
+
+TEST(TextExporterTest, NoValidationNoHeader) {
+  RunSummary s;
+  s.runtime_ms = 10;
+  s.throughput_ops_sec = 100;
+  std::string out = TextExporter::Export(s, {});
+  EXPECT_EQ(out.find("validation"), std::string::npos);
+  EXPECT_NE(out.find("[OVERALL], RunTime(ms), 10"), std::string::npos);
+}
+
+TEST(JsonExporterTest, WellFormedAndComplete) {
+  std::string out = JsonExporter::Export(CewSummary(), SampleOps());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"runtime_ms\":124619"), std::string::npos);
+  EXPECT_NE(out.find("\"validation_passed\":false"), std::string::npos);
+  EXPECT_NE(out.find("\"TOTAL CASH\":\"1000000\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"READ\""), std::string::npos);
+  EXPECT_NE(out.find("\"returns\":{\"OK\":1110103}"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    if (c == '"' && (i == 0 || out[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonExporterTest, EscapesSpecialCharacters) {
+  RunSummary s;
+  s.extra = {{"KEY \"quoted\"", "line\nbreak\\slash"}};
+  std::string out = JsonExporter::Export(s, {});
+  EXPECT_NE(out.find("KEY \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("line\\nbreak\\\\slash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ycsbt

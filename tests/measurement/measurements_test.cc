@@ -1,0 +1,121 @@
+#include "measurement/measurements.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ycsbt {
+namespace {
+
+TEST(MeasurementsTest, EmptyRegistrySnapshots) {
+  Measurements m;
+  EXPECT_TRUE(m.Snapshot().empty());
+  OpStats s = m.SnapshotOp("READ");
+  EXPECT_EQ(s.operations, 0u);
+  EXPECT_EQ(s.name, "READ");
+}
+
+TEST(MeasurementsTest, MeasureAccumulates) {
+  Measurements m;
+  m.Measure("READ", 100);
+  m.Measure("READ", 200);
+  m.Measure("READ", 300);
+  OpStats s = m.SnapshotOp("READ");
+  EXPECT_EQ(s.operations, 3u);
+  EXPECT_DOUBLE_EQ(s.average_latency_us, 200.0);
+  EXPECT_EQ(s.min_latency_us, 100);
+  EXPECT_EQ(s.max_latency_us, 300);
+}
+
+TEST(MeasurementsTest, ReturnCodesCounted) {
+  Measurements m;
+  m.ReportStatus("UPDATE", Status::OK());
+  m.ReportStatus("UPDATE", Status::OK());
+  m.ReportStatus("UPDATE", Status::Conflict());
+  OpStats s = m.SnapshotOp("UPDATE");
+  EXPECT_EQ(s.return_counts["OK"], 2u);
+  EXPECT_EQ(s.return_counts["Conflict"], 1u);
+}
+
+TEST(MeasurementsTest, SeriesAreIndependent) {
+  Measurements m;
+  m.Measure("READ", 10);
+  m.Measure("COMMIT", 1000);
+  EXPECT_EQ(m.SnapshotOp("READ").max_latency_us, 10);
+  EXPECT_EQ(m.SnapshotOp("COMMIT").max_latency_us, 1000);
+}
+
+TEST(MeasurementsTest, SnapshotSortedByName) {
+  Measurements m;
+  m.Measure("UPDATE", 1);
+  m.Measure("COMMIT", 1);
+  m.Measure("READ", 1);
+  auto all = m.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "COMMIT");
+  EXPECT_EQ(all[1].name, "READ");
+  EXPECT_EQ(all[2].name, "UPDATE");
+}
+
+TEST(MeasurementsTest, TotalOperationsSumsNamedSeries) {
+  Measurements m;
+  for (int i = 0; i < 5; ++i) m.Measure("READ", 1);
+  for (int i = 0; i < 3; ++i) m.Measure("UPDATE", 1);
+  m.Measure("COMMIT", 1);
+  EXPECT_EQ(m.TotalOperations({"READ", "UPDATE"}), 8u);
+  EXPECT_EQ(m.TotalOperations({"ABSENT"}), 0u);
+}
+
+TEST(MeasurementsTest, ResetDropsEverything) {
+  Measurements m;
+  m.Measure("READ", 1);
+  m.Reset();
+  EXPECT_TRUE(m.Snapshot().empty());
+}
+
+TEST(MeasurementsTest, ConcurrentMeasureIsLossless) {
+  Measurements m;
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        m.Measure("READ", i % 100);
+        m.ReportStatus("READ", Status::OK());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  OpStats s = m.SnapshotOp("READ");
+  EXPECT_EQ(s.operations, static_cast<uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(s.return_counts["OK"], static_cast<uint64_t>(kThreads) * kPer);
+}
+
+TEST(MeasurementsTest, ConcurrentDistinctSeriesCreation) {
+  Measurements m;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        m.Measure("OP" + std::to_string((t * 200 + i) % 37), 1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(m.Snapshot().size(), 37u);
+}
+
+TEST(MeasurementsTest, PercentilesOrdered) {
+  Measurements m;
+  for (int i = 1; i <= 1000; ++i) m.Measure("SCAN", i);
+  OpStats s = m.SnapshotOp("SCAN");
+  EXPECT_LE(s.p50_latency_us, s.p95_latency_us);
+  EXPECT_LE(s.p95_latency_us, s.p99_latency_us);
+  EXPECT_LE(s.p99_latency_us, s.max_latency_us);
+  EXPECT_NEAR(static_cast<double>(s.p50_latency_us), 500.0, 20.0);
+}
+
+}  // namespace
+}  // namespace ycsbt

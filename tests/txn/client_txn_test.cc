@@ -1,0 +1,376 @@
+// Functional (single-threaded) tests of the client-coordinated transaction
+// library: visibility, atomicity, snapshot isolation semantics, and the
+// first-committer-wins conflict rule.
+
+#include "txn/client_txn_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/latency_model.h"
+#include "common/sync.h"
+#include "kv/instrumented_store.h"
+
+namespace ycsbt {
+namespace txn {
+namespace {
+
+class ClientTxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_shared<kv::ShardedStore>();
+    ts_ = std::make_shared<HlcTimestampSource>();
+    store_ = std::make_unique<ClientTxnStore>(base_, ts_);
+  }
+
+  std::unique_ptr<ClientTxnStore> MakeStore(TxnOptions options) {
+    return std::make_unique<ClientTxnStore>(base_, ts_, options);
+  }
+
+  std::shared_ptr<kv::ShardedStore> base_;
+  std::shared_ptr<HlcTimestampSource> ts_;
+  std::unique_ptr<ClientTxnStore> store_;
+};
+
+TEST_F(ClientTxnTest, CommitMakesWritesVisible) {
+  auto txn = store_->Begin();
+  ASSERT_TRUE(txn->Write("a", "1").ok());
+  ASSERT_TRUE(txn->Write("b", "2").ok());
+  std::string value;
+  EXPECT_TRUE(store_->ReadCommitted("a", &value).IsNotFound());  // not yet
+  ASSERT_TRUE(txn->Commit().ok());
+  ASSERT_TRUE(store_->ReadCommitted("a", &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(store_->ReadCommitted("b", &value).ok());
+  EXPECT_EQ(value, "2");
+  EXPECT_EQ(store_->stats().commits, 1u);
+}
+
+TEST_F(ClientTxnTest, AbortDiscardsEverything) {
+  store_->LoadPut("a", "original");
+  auto txn = store_->Begin();
+  ASSERT_TRUE(txn->Write("a", "changed").ok());
+  ASSERT_TRUE(txn->Write("fresh", "new").ok());
+  ASSERT_TRUE(txn->Abort().ok());
+  std::string value;
+  ASSERT_TRUE(store_->ReadCommitted("a", &value).ok());
+  EXPECT_EQ(value, "original");
+  EXPECT_TRUE(store_->ReadCommitted("fresh", &value).IsNotFound());
+  EXPECT_EQ(store_->stats().aborts, 1u);
+}
+
+TEST_F(ClientTxnTest, DestructorAbortsActiveTxn) {
+  {
+    auto txn = store_->Begin();
+    txn->Write("k", "v");
+  }
+  std::string value;
+  EXPECT_TRUE(store_->ReadCommitted("k", &value).IsNotFound());
+  EXPECT_EQ(store_->stats().aborts, 1u);
+}
+
+TEST_F(ClientTxnTest, ReadYourOwnWrites) {
+  store_->LoadPut("k", "old");
+  auto txn = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(txn->Read("k", &value).ok());
+  EXPECT_EQ(value, "old");
+  ASSERT_TRUE(txn->Write("k", "mine").ok());
+  ASSERT_TRUE(txn->Read("k", &value).ok());
+  EXPECT_EQ(value, "mine");
+  ASSERT_TRUE(txn->Delete("k").ok());
+  EXPECT_TRUE(txn->Read("k", &value).IsNotFound());
+  ASSERT_TRUE(txn->Abort().ok());
+}
+
+TEST_F(ClientTxnTest, TransactionalDeleteCommits) {
+  store_->LoadPut("k", "v");
+  auto txn = store_->Begin();
+  ASSERT_TRUE(txn->Delete("k").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  std::string value;
+  EXPECT_TRUE(store_->ReadCommitted("k", &value).IsNotFound());
+}
+
+TEST_F(ClientTxnTest, SnapshotReadsIgnoreLaterCommits) {
+  store_->LoadPut("k", "v1");
+  auto reader = store_->Begin();
+  // A later transaction overwrites and commits.
+  auto writer = store_->Begin();
+  ASSERT_TRUE(writer->Write("k", "v2").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  // The earlier snapshot still sees v1 via the previous version.
+  std::string value;
+  ASSERT_TRUE(reader->Read("k", &value).ok());
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(reader->Commit().ok());
+  // A fresh snapshot sees v2.
+  auto later = store_->Begin();
+  ASSERT_TRUE(later->Read("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+  later->Commit();
+}
+
+TEST_F(ClientTxnTest, KeyInsertedAfterSnapshotIsInvisible) {
+  auto reader = store_->Begin();
+  auto writer = store_->Begin();
+  ASSERT_TRUE(writer->Write("new_key", "v").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  std::string value;
+  EXPECT_TRUE(reader->Read("new_key", &value).IsNotFound());
+  reader->Commit();
+}
+
+TEST_F(ClientTxnTest, FirstCommitterWinsOnWriteWriteConflict) {
+  store_->LoadPut("k", "base");
+  auto t1 = store_->Begin();
+  auto t2 = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(t1->Read("k", &value).ok());
+  ASSERT_TRUE(t2->Read("k", &value).ok());
+  ASSERT_TRUE(t1->Write("k", "t1").ok());
+  ASSERT_TRUE(t2->Write("k", "t2").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  Status s = t2->Commit();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsRetryable());
+  ASSERT_TRUE(store_->ReadCommitted("k", &value).ok());
+  EXPECT_EQ(value, "t1");
+  EXPECT_GE(store_->stats().conflicts, 1u);
+}
+
+TEST_F(ClientTxnTest, ReadOnlyTransactionsNeverConflict) {
+  store_->LoadPut("k", "v");
+  auto t1 = store_->Begin();
+  auto t2 = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(t1->Read("k", &value).ok());
+  ASSERT_TRUE(t2->Read("k", &value).ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().ok());
+}
+
+TEST_F(ClientTxnTest, OperationsAfterCommitAreRejected) {
+  auto txn = store_->Begin();
+  ASSERT_TRUE(txn->Write("k", "v").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  std::string value;
+  EXPECT_TRUE(txn->Read("k", &value).IsInvalidArgument());
+  EXPECT_TRUE(txn->Write("k", "w").IsInvalidArgument());
+  EXPECT_TRUE(txn->Commit().IsInvalidArgument());
+  EXPECT_TRUE(txn->Abort().IsInvalidArgument());
+}
+
+TEST_F(ClientTxnTest, AtomicMultiKeyTransfer) {
+  store_->LoadPut("acct1", "100");
+  store_->LoadPut("acct2", "100");
+  auto txn = store_->Begin();
+  std::string v1, v2;
+  ASSERT_TRUE(txn->Read("acct1", &v1).ok());
+  ASSERT_TRUE(txn->Read("acct2", &v2).ok());
+  ASSERT_TRUE(txn->Write("acct1", std::to_string(std::stoll(v1) - 30)).ok());
+  ASSERT_TRUE(txn->Write("acct2", std::to_string(std::stoll(v2) + 30)).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  ASSERT_TRUE(store_->ReadCommitted("acct1", &v1).ok());
+  ASSERT_TRUE(store_->ReadCommitted("acct2", &v2).ok());
+  EXPECT_EQ(std::stoll(v1) + std::stoll(v2), 200);
+  EXPECT_EQ(v1, "70");
+}
+
+TEST_F(ClientTxnTest, ScanSeesSnapshotAndSkipsTsrKeys) {
+  store_->LoadPut("a", "1");
+  store_->LoadPut("b", "2");
+  store_->LoadPut("c", "3");
+  auto reader = store_->Begin();
+  auto writer = store_->Begin();
+  ASSERT_TRUE(writer->Write("b", "22").ok());
+  ASSERT_TRUE(writer->Write("d", "4").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  std::vector<TxScanEntry> rows;
+  ASSERT_TRUE(reader->Scan("", 100, &rows).ok());
+  ASSERT_EQ(rows.size(), 3u);  // d invisible at the snapshot
+  EXPECT_EQ(rows[0].key, "a");
+  EXPECT_EQ(rows[1].key, "b");
+  EXPECT_EQ(rows[1].value, "2");  // previous version
+  EXPECT_EQ(rows[2].key, "c");
+  reader->Commit();
+
+  std::vector<TxScanEntry> committed;
+  ASSERT_TRUE(store_->ScanCommitted("", 100, &committed).ok());
+  ASSERT_EQ(committed.size(), 4u);
+  EXPECT_EQ(committed[1].value, "22");
+}
+
+TEST_F(ClientTxnTest, ScanPaginatesPastInvisibleRecords) {
+  for (int i = 0; i < 50; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%02d", i);
+    store_->LoadPut(buf, std::to_string(i));
+  }
+  // A small limit with many records forces multiple internal batches.
+  std::vector<TxScanEntry> rows;
+  ASSERT_TRUE(store_->ScanCommitted("k10", 25, &rows).ok());
+  ASSERT_EQ(rows.size(), 25u);
+  EXPECT_EQ(rows.front().key, "k10");
+  EXPECT_EQ(rows.back().key, "k34");
+}
+
+TEST_F(ClientTxnTest, SerializableModeRejectsStaleReads) {
+  auto serializable =
+      MakeStore(TxnOptions{.isolation = Isolation::kSerializable});
+  serializable->LoadPut("x", "1");
+  serializable->LoadPut("y", "1");
+
+  // Write skew: t1 reads x writes y; t2 reads y writes x.  SI admits both;
+  // serializable validation must abort one.
+  auto t1 = serializable->Begin();
+  auto t2 = serializable->Begin();
+  std::string value;
+  ASSERT_TRUE(t1->Read("x", &value).ok());
+  ASSERT_TRUE(t2->Read("y", &value).ok());
+  ASSERT_TRUE(t1->Write("y", "t1").ok());
+  ASSERT_TRUE(t2->Write("x", "t2").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  EXPECT_FALSE(t2->Commit().ok());
+  EXPECT_GE(serializable->stats().validation_fails, 1u);
+}
+
+TEST_F(ClientTxnTest, SnapshotModeAdmitsWriteSkew) {
+  // The same interleaving under plain SI commits both — documenting the
+  // anomaly the isolation level permits (paper §VII targets such cases).
+  store_->LoadPut("x", "1");
+  store_->LoadPut("y", "1");
+  auto t1 = store_->Begin();
+  auto t2 = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(t1->Read("x", &value).ok());
+  ASSERT_TRUE(t2->Read("y", &value).ok());
+  ASSERT_TRUE(t1->Write("y", "t1").ok());
+  ASSERT_TRUE(t2->Write("x", "t2").ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().ok());
+}
+
+TEST_F(ClientTxnTest, TsrCleanupLeavesNoResidue) {
+  auto txn = store_->Begin();
+  txn->Write("k", "v");
+  ASSERT_TRUE(txn->Commit().ok());
+  // Only the user record remains in the base store.
+  EXPECT_EQ(base_->Count(), 1u);
+}
+
+TEST_F(ClientTxnTest, ConcurrentDeleteDefeatsUpdateNotViceVersa) {
+  // Lost-delete regression: T_upd reads k, T_del deletes k and commits
+  // first.  T_upd's write must CONFLICT — recreating the record would
+  // resurrect a deleted key (and, in CEW terms, mint money).
+  store_->LoadPut("k", "1000");
+  auto t_upd = store_->Begin();
+  auto t_del = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(t_upd->Read("k", &value).ok());
+  ASSERT_TRUE(t_upd->Write("k", "1001").ok());
+  ASSERT_TRUE(t_del->Read("k", &value).ok());
+  ASSERT_TRUE(t_del->Delete("k").ok());
+  ASSERT_TRUE(t_del->Commit().ok());
+  Status s = t_upd->Commit();
+  EXPECT_FALSE(s.ok()) << "update resurrected a concurrently deleted key";
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_TRUE(store_->ReadCommitted("k", &value).IsNotFound());
+}
+
+TEST_F(ClientTxnTest, BlindWriteToUnreadVanishedKeyKeepsInsertSemantics) {
+  // But a transaction that never read the key may recreate it: that is a
+  // legitimate insert, not a lost delete.
+  store_->LoadPut("k", "old");
+  auto t_ins = store_->Begin();
+  auto t_del = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(t_del->Read("k", &value).ok());
+  ASSERT_TRUE(t_del->Delete("k").ok());
+  ASSERT_TRUE(t_ins->Write("k", "reborn").ok());  // no prior read
+  ASSERT_TRUE(t_del->Commit().ok());
+  EXPECT_TRUE(t_ins->Commit().ok());
+  ASSERT_TRUE(store_->ReadCommitted("k", &value).ok());
+  EXPECT_EQ(value, "reborn");
+}
+
+TEST_F(ClientTxnTest, CorruptStoreValueSurfacesAsCorruption) {
+  // A raw (non-TxRecord) value planted behind the library's back must fail
+  // loudly, not crash or be misread.
+  ASSERT_TRUE(base_->Put("poisoned", "not a TxRecord at all").ok());
+  auto txn = store_->Begin();
+  std::string value;
+  EXPECT_TRUE(txn->Read("poisoned", &value).IsCorruption());
+  txn->Abort();
+  EXPECT_TRUE(store_->ReadCommitted("poisoned", &value).IsCorruption());
+  std::vector<TxScanEntry> rows;
+  EXPECT_TRUE(store_->ScanCommitted("", 10, &rows).IsCorruption());
+}
+
+TEST_F(ClientTxnTest, RecoveryBetweenLockAndCommitPointDeniesTheCommit) {
+  // Deterministic version of the recovery/commit race: a fault-injection
+  // hook freezes the owner right after it plants its lock (i.e. before its
+  // commit point).  A reader then finds the expired lock, plants the ABORTED
+  // status record and rolls the lock back.  When the owner resumes, its TSR
+  // write must lose and its Commit must report failure — never a half
+  // effect.
+  auto instrumented = std::make_shared<kv::InstrumentedStore>(base_);
+  TxnOptions options;
+  options.lock_lease_us = 1000;  // 1 ms: "expired" right after planting
+  auto store = std::make_unique<ClientTxnStore>(
+      instrumented, ts_, options);
+  store->LoadPut("k", "old");
+
+  CountDownLatch lock_planted(1);
+  CountDownLatch reader_done(1);
+  std::atomic<bool> armed{true};
+  instrumented->set_hook([&](kv::InstrumentedStore::Op op, const std::string& key,
+                             bool after) {
+    if (!after || op != kv::InstrumentedStore::Op::kConditionalPut) return;
+    if (key == "k" && armed.exchange(false)) {
+      // The owner's lock write just landed; freeze it until the reader has
+      // recovered the lock.
+      lock_planted.CountDown();
+      reader_done.Wait();
+    }
+  });
+
+  Status owner_commit = Status::OK();
+  std::thread owner([&] {
+    auto txn = store->Begin();
+    std::string value;
+    ASSERT_TRUE(txn->Read("k", &value).ok());
+    ASSERT_TRUE(txn->Write("k", "torn?").ok());
+    owner_commit = txn->Commit();
+  });
+
+  lock_planted.Wait();
+  SleepMicros(2000);  // let the 1 ms lease lapse
+  std::string value;
+  ASSERT_TRUE(store->ReadCommitted("k", &value).ok());
+  EXPECT_EQ(value, "old") << "recovered read must serve the committed version";
+  reader_done.CountDown();
+  owner.join();
+
+  EXPECT_FALSE(owner_commit.ok())
+      << "owner reached its commit point after being aborted by recovery";
+  ASSERT_TRUE(store->ReadCommitted("k", &value).ok());
+  EXPECT_EQ(value, "old");
+  EXPECT_GE(store->stats().roll_backs, 1u);
+}
+
+TEST_F(ClientTxnTest, LoadPutThenTransactionalReadWorks) {
+  store_->LoadPut("k", "loaded");
+  auto txn = store_->Begin();
+  std::string value;
+  ASSERT_TRUE(txn->Read("k", &value).ok());
+  EXPECT_EQ(value, "loaded");
+  txn->Commit();
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace ycsbt
