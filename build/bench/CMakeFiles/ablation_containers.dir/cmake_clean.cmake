@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_containers.dir/ablation_containers.cc.o"
+  "CMakeFiles/ablation_containers.dir/ablation_containers.cc.o.d"
+  "ablation_containers"
+  "ablation_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

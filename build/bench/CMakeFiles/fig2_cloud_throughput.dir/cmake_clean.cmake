@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cloud_throughput.dir/fig2_cloud_throughput.cc.o"
+  "CMakeFiles/fig2_cloud_throughput.dir/fig2_cloud_throughput.cc.o.d"
+  "fig2_cloud_throughput"
+  "fig2_cloud_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cloud_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_txn_overhead.dir/fig3_txn_overhead.cc.o"
+  "CMakeFiles/fig3_txn_overhead.dir/fig3_txn_overhead.cc.o.d"
+  "fig3_txn_overhead"
+  "fig3_txn_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_txn_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_anomaly_score.cc" "bench/CMakeFiles/fig4_anomaly_score.dir/fig4_anomaly_score.cc.o" "gcc" "bench/CMakeFiles/fig4_anomaly_score.dir/fig4_anomaly_score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ycsbt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ycsbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ycsbt_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ycsbt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ycsbt_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ycsbt_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/ycsbt_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/measurement/CMakeFiles/ycsbt_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ycsbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

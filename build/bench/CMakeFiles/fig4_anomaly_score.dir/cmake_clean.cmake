@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_anomaly_score.dir/fig4_anomaly_score.cc.o"
+  "CMakeFiles/fig4_anomaly_score.dir/fig4_anomaly_score.cc.o.d"
+  "fig4_anomaly_score"
+  "fig4_anomaly_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_anomaly_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

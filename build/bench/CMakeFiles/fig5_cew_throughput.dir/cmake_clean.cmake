@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cew_throughput.dir/fig5_cew_throughput.cc.o"
+  "CMakeFiles/fig5_cew_throughput.dir/fig5_cew_throughput.cc.o.d"
+  "fig5_cew_throughput"
+  "fig5_cew_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cew_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing3_report.dir/listing3_report.cc.o"
+  "CMakeFiles/listing3_report.dir/listing3_report.cc.o.d"
+  "listing3_report"
+  "listing3_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing3_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_txn.dir/micro_txn.cc.o"
+  "CMakeFiles/micro_txn.dir/micro_txn.cc.o.d"
+  "micro_txn"
+  "micro_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libycsbt_bench_util.a"
+  "../lib/libycsbt_bench_util.pdb"
+  "CMakeFiles/ycsbt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ycsbt_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

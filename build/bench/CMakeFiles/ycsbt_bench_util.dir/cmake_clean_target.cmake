@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libycsbt_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_txn.dir/banking_txn.cc.o"
+  "CMakeFiles/banking_txn.dir/banking_txn.cc.o.d"
+  "banking_txn"
+  "banking_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_economy.dir/closed_economy.cc.o"
+  "CMakeFiles/closed_economy.dir/closed_economy.cc.o.d"
+  "closed_economy"
+  "closed_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

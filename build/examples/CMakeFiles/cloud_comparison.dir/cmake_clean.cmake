@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_comparison.dir/cloud_comparison.cc.o"
+  "CMakeFiles/cloud_comparison.dir/cloud_comparison.cc.o.d"
+  "cloud_comparison"
+  "cloud_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

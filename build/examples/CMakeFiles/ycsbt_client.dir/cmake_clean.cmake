@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_client.dir/ycsbt_client.cc.o"
+  "CMakeFiles/ycsbt_client.dir/ycsbt_client.cc.o.d"
+  "ycsbt_client"
+  "ycsbt_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_cloud.dir/sim_cloud_store.cc.o"
+  "CMakeFiles/ycsbt_cloud.dir/sim_cloud_store.cc.o.d"
+  "libycsbt_cloud.a"
+  "libycsbt_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_common.dir/histogram.cc.o"
+  "CMakeFiles/ycsbt_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/latency_model.cc.o"
+  "CMakeFiles/ycsbt_common.dir/latency_model.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/logging.cc.o"
+  "CMakeFiles/ycsbt_common.dir/logging.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/properties.cc.o"
+  "CMakeFiles/ycsbt_common.dir/properties.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/random.cc.o"
+  "CMakeFiles/ycsbt_common.dir/random.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/rate_limiter.cc.o"
+  "CMakeFiles/ycsbt_common.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/ycsbt_common.dir/status.cc.o"
+  "CMakeFiles/ycsbt_common.dir/status.cc.o.d"
+  "libycsbt_common.a"
+  "libycsbt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libycsbt_common.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmark.cc" "src/core/CMakeFiles/ycsbt_core.dir/benchmark.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/benchmark.cc.o.d"
+  "/root/repo/src/core/closed_economy_workload.cc" "src/core/CMakeFiles/ycsbt_core.dir/closed_economy_workload.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/closed_economy_workload.cc.o.d"
+  "/root/repo/src/core/core_workload.cc" "src/core/CMakeFiles/ycsbt_core.dir/core_workload.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/core_workload.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/ycsbt_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/ycsbt_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/workload.cc.o.d"
+  "/root/repo/src/core/workload_factory.cc" "src/core/CMakeFiles/ycsbt_core.dir/workload_factory.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/workload_factory.cc.o.d"
+  "/root/repo/src/core/write_skew_workload.cc" "src/core/CMakeFiles/ycsbt_core.dir/write_skew_workload.cc.o" "gcc" "src/core/CMakeFiles/ycsbt_core.dir/write_skew_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/ycsbt_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/ycsbt_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/measurement/CMakeFiles/ycsbt_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ycsbt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ycsbt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ycsbt_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ycsbt_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_core.dir/benchmark.cc.o"
+  "CMakeFiles/ycsbt_core.dir/benchmark.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/closed_economy_workload.cc.o"
+  "CMakeFiles/ycsbt_core.dir/closed_economy_workload.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/core_workload.cc.o"
+  "CMakeFiles/ycsbt_core.dir/core_workload.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/runner.cc.o"
+  "CMakeFiles/ycsbt_core.dir/runner.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/workload.cc.o"
+  "CMakeFiles/ycsbt_core.dir/workload.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/workload_factory.cc.o"
+  "CMakeFiles/ycsbt_core.dir/workload_factory.cc.o.d"
+  "CMakeFiles/ycsbt_core.dir/write_skew_workload.cc.o"
+  "CMakeFiles/ycsbt_core.dir/write_skew_workload.cc.o.d"
+  "libycsbt_core.a"
+  "libycsbt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/basic_db.cc" "src/db/CMakeFiles/ycsbt_db.dir/basic_db.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/basic_db.cc.o.d"
+  "/root/repo/src/db/db_factory.cc" "src/db/CMakeFiles/ycsbt_db.dir/db_factory.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/db_factory.cc.o.d"
+  "/root/repo/src/db/field_codec.cc" "src/db/CMakeFiles/ycsbt_db.dir/field_codec.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/field_codec.cc.o.d"
+  "/root/repo/src/db/kvstore_db.cc" "src/db/CMakeFiles/ycsbt_db.dir/kvstore_db.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/kvstore_db.cc.o.d"
+  "/root/repo/src/db/measured_db.cc" "src/db/CMakeFiles/ycsbt_db.dir/measured_db.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/measured_db.cc.o.d"
+  "/root/repo/src/db/txn_db.cc" "src/db/CMakeFiles/ycsbt_db.dir/txn_db.cc.o" "gcc" "src/db/CMakeFiles/ycsbt_db.dir/txn_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/ycsbt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ycsbt_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ycsbt_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/measurement/CMakeFiles/ycsbt_measurement.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ycsbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

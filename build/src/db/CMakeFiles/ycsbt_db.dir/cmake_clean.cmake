@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_db.dir/basic_db.cc.o"
+  "CMakeFiles/ycsbt_db.dir/basic_db.cc.o.d"
+  "CMakeFiles/ycsbt_db.dir/db_factory.cc.o"
+  "CMakeFiles/ycsbt_db.dir/db_factory.cc.o.d"
+  "CMakeFiles/ycsbt_db.dir/field_codec.cc.o"
+  "CMakeFiles/ycsbt_db.dir/field_codec.cc.o.d"
+  "CMakeFiles/ycsbt_db.dir/kvstore_db.cc.o"
+  "CMakeFiles/ycsbt_db.dir/kvstore_db.cc.o.d"
+  "CMakeFiles/ycsbt_db.dir/measured_db.cc.o"
+  "CMakeFiles/ycsbt_db.dir/measured_db.cc.o.d"
+  "CMakeFiles/ycsbt_db.dir/txn_db.cc.o"
+  "CMakeFiles/ycsbt_db.dir/txn_db.cc.o.d"
+  "libycsbt_db.a"
+  "libycsbt_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_generator.dir/zipfian_generator.cc.o"
+  "CMakeFiles/ycsbt_generator.dir/zipfian_generator.cc.o.d"
+  "libycsbt_generator.a"
+  "libycsbt_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ycsbt_generator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/crc32.cc" "src/kv/CMakeFiles/ycsbt_kv.dir/crc32.cc.o" "gcc" "src/kv/CMakeFiles/ycsbt_kv.dir/crc32.cc.o.d"
+  "/root/repo/src/kv/store.cc" "src/kv/CMakeFiles/ycsbt_kv.dir/store.cc.o" "gcc" "src/kv/CMakeFiles/ycsbt_kv.dir/store.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/kv/CMakeFiles/ycsbt_kv.dir/wal.cc.o" "gcc" "src/kv/CMakeFiles/ycsbt_kv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ycsbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_kv.dir/crc32.cc.o"
+  "CMakeFiles/ycsbt_kv.dir/crc32.cc.o.d"
+  "CMakeFiles/ycsbt_kv.dir/store.cc.o"
+  "CMakeFiles/ycsbt_kv.dir/store.cc.o.d"
+  "CMakeFiles/ycsbt_kv.dir/wal.cc.o"
+  "CMakeFiles/ycsbt_kv.dir/wal.cc.o.d"
+  "libycsbt_kv.a"
+  "libycsbt_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_measurement.dir/exporter.cc.o"
+  "CMakeFiles/ycsbt_measurement.dir/exporter.cc.o.d"
+  "CMakeFiles/ycsbt_measurement.dir/measurements.cc.o"
+  "CMakeFiles/ycsbt_measurement.dir/measurements.cc.o.d"
+  "libycsbt_measurement.a"
+  "libycsbt_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libycsbt_measurement.a"
+)

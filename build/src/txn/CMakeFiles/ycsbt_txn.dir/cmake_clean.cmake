@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsbt_txn.dir/client_txn_store.cc.o"
+  "CMakeFiles/ycsbt_txn.dir/client_txn_store.cc.o.d"
+  "CMakeFiles/ycsbt_txn.dir/local_2pl.cc.o"
+  "CMakeFiles/ycsbt_txn.dir/local_2pl.cc.o.d"
+  "CMakeFiles/ycsbt_txn.dir/record_codec.cc.o"
+  "CMakeFiles/ycsbt_txn.dir/record_codec.cc.o.d"
+  "libycsbt_txn.a"
+  "libycsbt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsbt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/closed_economy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/closed_economy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/core_workload_test.cc.o"
+  "CMakeFiles/core_test.dir/core/core_workload_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/invariant_sweep_test.cc.o"
+  "CMakeFiles/core_test.dir/core/invariant_sweep_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/runner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/runner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/workload_files_test.cc.o"
+  "CMakeFiles/core_test.dir/core/workload_files_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/write_skew_test.cc.o"
+  "CMakeFiles/core_test.dir/core/write_skew_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/db_factory_test.cc.o"
+  "CMakeFiles/db_test.dir/db/db_factory_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/field_codec_test.cc.o"
+  "CMakeFiles/db_test.dir/db/field_codec_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/kvstore_db_test.cc.o"
+  "CMakeFiles/db_test.dir/db/kvstore_db_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/measured_db_test.cc.o"
+  "CMakeFiles/db_test.dir/db/measured_db_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/txn_db_test.cc.o"
+  "CMakeFiles/db_test.dir/db/txn_db_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_test.dir/generator/basic_generators_test.cc.o"
+  "CMakeFiles/generator_test.dir/generator/basic_generators_test.cc.o.d"
+  "CMakeFiles/generator_test.dir/generator/distribution_property_test.cc.o"
+  "CMakeFiles/generator_test.dir/generator/distribution_property_test.cc.o.d"
+  "CMakeFiles/generator_test.dir/generator/zipfian_test.cc.o"
+  "CMakeFiles/generator_test.dir/generator/zipfian_test.cc.o.d"
+  "generator_test"
+  "generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_test.dir/kv/crc32_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/crc32_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/kv/instrumented_store_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/instrumented_store_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/kv/skiplist_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/skiplist_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/kv/store_config_sweep_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/store_config_sweep_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/kv/store_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/store_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/kv/wal_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv/wal_test.cc.o.d"
+  "kv_test"
+  "kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

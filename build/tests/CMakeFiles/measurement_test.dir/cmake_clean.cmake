@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_test.dir/measurement/exporter_test.cc.o"
+  "CMakeFiles/measurement_test.dir/measurement/exporter_test.cc.o.d"
+  "CMakeFiles/measurement_test.dir/measurement/measurements_test.cc.o"
+  "CMakeFiles/measurement_test.dir/measurement/measurements_test.cc.o.d"
+  "measurement_test"
+  "measurement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

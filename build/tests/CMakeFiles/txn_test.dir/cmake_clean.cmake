@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_test.dir/txn/client_txn_concurrency_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/client_txn_concurrency_test.cc.o.d"
+  "CMakeFiles/txn_test.dir/txn/client_txn_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/client_txn_test.cc.o.d"
+  "CMakeFiles/txn_test.dir/txn/local_2pl_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/local_2pl_test.cc.o.d"
+  "CMakeFiles/txn_test.dir/txn/record_codec_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/record_codec_test.cc.o.d"
+  "CMakeFiles/txn_test.dir/txn/recovery_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/recovery_test.cc.o.d"
+  "CMakeFiles/txn_test.dir/txn/timestamp_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn/timestamp_test.cc.o.d"
+  "txn_test"
+  "txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;15;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(generator_test "/root/repo/build/tests/generator_test")
+set_tests_properties(generator_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;26;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(measurement_test "/root/repo/build/tests/measurement_test")
+set_tests_properties(measurement_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;32;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kv_test "/root/repo/build/tests/kv_test")
+set_tests_properties(kv_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;37;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cloud_test "/root/repo/build/tests/cloud_test")
+set_tests_properties(cloud_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;46;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(txn_test "/root/repo/build/tests/txn_test")
+set_tests_properties(txn_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;50;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(db_test "/root/repo/build/tests/db_test")
+set_tests_properties(db_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;59;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;67;ycsbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
