@@ -106,6 +106,12 @@ class Status {
   std::string msg_;
 };
 
+/// Number of distinct `Status::Code` values.  The measurement layer counts
+/// completions per code in a dense array indexed by code, so this must track
+/// the last enumerator above.
+inline constexpr size_t kStatusCodeCount =
+    static_cast<size_t>(Status::Code::kInternal) + 1;
+
 }  // namespace ycsbt
 
 #endif  // YCSBT_COMMON_STATUS_H_

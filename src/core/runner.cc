@@ -4,6 +4,7 @@
 #include <atomic>
 #include <limits>
 #include <thread>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/latency_model.h"
@@ -22,6 +23,7 @@ RunSummary RunResult::MakeSummary() const {
   summary.has_validation = validation.performed;
   summary.validation_passed = validation.passed;
   summary.extra = validation.report;
+  summary.intervals = intervals;
   return summary;
 }
 
@@ -35,25 +37,76 @@ uint64_t ShareOf(uint64_t total, int thread_id, int threads) {
   return base + extra;
 }
 
+/// Interval counters one client thread publishes for the watchdog: each
+/// thread owns one cache line and stores its locally accumulated totals with
+/// relaxed ordering, so publishing progress never contends with the other
+/// clients (unlike the seed's shared fetch_add counters).
+struct alignas(64) ClientProgress {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> latency_sum_us{0};
+};
+
+/// Sums one field across all client progress lines (relaxed reads; exact
+/// once the clients have finished).
+template <typename Field>
+uint64_t SumProgress(const std::vector<ClientProgress>& progress, Field field) {
+  uint64_t total = 0;
+  for (const auto& p : progress) total += (p.*field).load(std::memory_order_relaxed);
+  return total;
+}
+
+/// Per-thread cache of `TX-<OP>` series handles.  Workloads report ops as
+/// string literals, so a pointer-identity scan over a handful of entries
+/// resolves the series without building a string or hashing; a miss (first
+/// sight of an op, or a non-literal pointer) interns through the registry
+/// and is remembered.
+class TxSeriesCache {
+ public:
+  explicit TxSeriesCache(Measurements* measurements)
+      : measurements_(measurements) {}
+
+  OpId Get(const char* op) {
+    for (const auto& [ptr, id] : entries_) {
+      if (ptr == op) return id;
+    }
+    OpId id = measurements_->RegisterOp(std::string("TX-") + op);
+    entries_.emplace_back(op, id);
+    return id;
+  }
+
+ private:
+  Measurements* measurements_;
+  std::vector<std::pair<const char*, OpId>> entries_;
+};
+
 }  // namespace
 
 Status WorkloadRunner::Load(const LoadOptions& options) {
   int threads = std::max(options.threads, 1);
   uint64_t total = workload_->record_count();
   std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> skipped{0};
   std::vector<std::thread> pool;
   std::vector<Status> init_errors(static_cast<size_t>(threads));
   pool.reserve(static_cast<size_t>(threads));
 
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
+      uint64_t quota = ShareOf(total, t, threads);
       auto db = factory_->CreateClient();
-      if (db == nullptr || !db->Init().ok()) {
-        init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+      Status init = db == nullptr ? Status::Internal("factory returned no client")
+                                  : db->Init();
+      if (!init.ok()) {
+        // A thread that cannot initialise skips its whole quota; surface
+        // both the cause and the missing inserts instead of silently
+        // under-loading the table.
+        init_errors[static_cast<size_t>(t)] = init;
+        skipped.fetch_add(quota, std::memory_order_relaxed);
         return;
       }
       auto state = workload_->InitThread(t, threads);
-      uint64_t quota = ShareOf(total, t, threads);
       for (uint64_t i = 0; i < quota; ++i) {
         bool ok;
         if (options.wrap_in_transactions) {
@@ -71,7 +124,11 @@ Status WorkloadRunner::Load(const LoadOptions& options) {
   }
   for (auto& th : pool) th.join();
   for (const auto& s : init_errors) {
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      return Status::Internal("load client init failed: " + s.ToString() +
+                              "; skipped " + std::to_string(skipped.load()) +
+                              " inserts");
+    }
   }
   if (failures.load() != 0) {
     return Status::Internal(std::to_string(failures.load()) + " inserts failed");
@@ -86,9 +143,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   }
   int threads = std::max(options.threads, 1);
 
-  std::atomic<uint64_t> operations{0};
-  std::atomic<uint64_t> committed{0};
-  std::atomic<uint64_t> failed{0};
+  std::vector<ClientProgress> progress(static_cast<size_t>(threads));
   std::atomic<int> finished{0};
   std::atomic<bool> stop{false};
   CountDownLatch start_gate(1);
@@ -108,12 +163,19 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         return;
       }
       MeasuredDB db(std::move(raw), measurements_);
+      // This thread's lock-free measurement sink: the wrapper's per-call
+      // series and the whole-transaction TX-<OP> series both record into
+      // it, and it merges into the shared registry only at the flush below.
+      ThreadSink* sink = measurements_->CreateSink();
+      db.BindSink(sink);
       if (!db.Init().ok()) {
         init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
         finished.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       auto state = workload_->InitThread(t, threads);
+      TxSeriesCache tx_series(measurements_);
+      ClientProgress& mine = progress[static_cast<size_t>(t)];
       uint64_t quota = options.operation_count == 0
                            ? std::numeric_limits<uint64_t>::max()
                            : ShareOf(options.operation_count, t, threads);
@@ -123,6 +185,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
           per_thread_target > 0.0 ? static_cast<uint64_t>(1e9 / per_thread_target) : 0;
       uint64_t next_op_ns = SteadyNanos();
 
+      uint64_t ops = 0, committed = 0, failed = 0, latency_sum_us = 0;
       for (uint64_t i = 0; i < quota && !stop.load(std::memory_order_relaxed); ++i) {
         if (interval_ns != 0) {
           uint64_t now = SteadyNanos();
@@ -145,19 +208,25 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         }
         workload_->OnTransactionOutcome(state.get(), op, commit_ok);
 
-        std::string tx_series = std::string("TX-") + op.op;
-        measurements_->Measure(tx_series,
-                               static_cast<int64_t>(txn_watch.ElapsedMicros()));
-        measurements_->ReportStatus(
-            tx_series, commit_ok ? Status::OK() : Status::Aborted());
+        int64_t txn_us = static_cast<int64_t>(txn_watch.ElapsedMicros());
+        sink->Record(tx_series.Get(op.op), txn_us,
+                     commit_ok ? Status::Code::kOk : Status::Code::kAborted);
 
-        operations.fetch_add(1, std::memory_order_relaxed);
+        ++ops;
+        latency_sum_us += static_cast<uint64_t>(txn_us);
         if (commit_ok) {
-          committed.fetch_add(1, std::memory_order_relaxed);
+          ++committed;
         } else {
-          failed.fetch_add(1, std::memory_order_relaxed);
+          ++failed;
         }
+        // Publish progress for the watchdog: plain stores of local totals
+        // into this thread's own cache line.
+        mine.ops.store(ops, std::memory_order_relaxed);
+        mine.committed.store(committed, std::memory_order_relaxed);
+        mine.failed.store(failed, std::memory_order_relaxed);
+        mine.latency_sum_us.store(latency_sum_us, std::memory_order_relaxed);
       }
+      sink->Flush();
       db.Cleanup();
       finished.fetch_add(1, std::memory_order_relaxed);
     });
@@ -167,11 +236,13 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   start_gate.CountDown();
 
   // Watchdog + status thread (YCSB's status reporter): samples progress at
-  // the configured interval and flips the stop flag at the deadline.
+  // the configured interval, records the per-window time series, and flips
+  // the stop flag at the deadline.
+  double last_time = 0.0;
+  uint64_t last_ops = 0;
+  uint64_t last_latency_sum = 0;
   {
     double next_status = options.status_interval_seconds;
-    uint64_t last_ops = 0;
-    double last_time = 0.0;
     while (finished.load(std::memory_order_relaxed) < threads) {
       SleepMicros(5000);
       double elapsed = run_watch.ElapsedSeconds();
@@ -180,11 +251,23 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         stop.store(true, std::memory_order_relaxed);
       }
       if (options.status_interval_seconds > 0.0 && elapsed >= next_status) {
-        uint64_t ops = operations.load(std::memory_order_relaxed);
+        uint64_t ops = SumProgress(progress, &ClientProgress::ops);
+        uint64_t latency_sum =
+            SumProgress(progress, &ClientProgress::latency_sum_us);
+        uint64_t window_ops = ops - last_ops;
         double interval_rate =
             elapsed > last_time
-                ? static_cast<double>(ops - last_ops) / (elapsed - last_time)
+                ? static_cast<double>(window_ops) / (elapsed - last_time)
                 : 0.0;
+        IntervalSample sample;
+        sample.end_seconds = elapsed;
+        sample.operations = window_ops;
+        sample.ops_per_sec = interval_rate;
+        sample.avg_latency_us =
+            window_ops == 0 ? 0.0
+                            : static_cast<double>(latency_sum - last_latency_sum) /
+                                  static_cast<double>(window_ops);
+        measurements_->RecordInterval(sample);
         if (options.status_callback) {
           options.status_callback(elapsed, ops, interval_rate);
         } else {
@@ -193,6 +276,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         }
         last_ops = ops;
         last_time = elapsed;
+        last_latency_sum = latency_sum;
         next_status += options.status_interval_seconds;
       }
     }
@@ -204,13 +288,29 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
     if (!s.ok()) return s;
   }
 
+  uint64_t total_ops = SumProgress(progress, &ClientProgress::ops);
+  // Close the time series with the final partial window so the windows
+  // partition the run exactly.
+  if (options.status_interval_seconds > 0.0 && total_ops > last_ops) {
+    uint64_t latency_sum = SumProgress(progress, &ClientProgress::latency_sum_us);
+    IntervalSample sample;
+    sample.end_seconds = std::max(runtime_sec, last_time + 1e-9);
+    sample.operations = total_ops - last_ops;
+    sample.ops_per_sec = static_cast<double>(sample.operations) /
+                         (sample.end_seconds - last_time);
+    sample.avg_latency_us = static_cast<double>(latency_sum - last_latency_sum) /
+                            static_cast<double>(sample.operations);
+    measurements_->RecordInterval(sample);
+  }
+
   result->runtime_ms = runtime_sec * 1000.0;
-  result->operations = operations.load();
-  result->committed = committed.load();
-  result->failed = failed.load();
+  result->operations = total_ops;
+  result->committed = SumProgress(progress, &ClientProgress::committed);
+  result->failed = SumProgress(progress, &ClientProgress::failed);
   result->throughput_ops_sec =
       runtime_sec > 0.0 ? static_cast<double>(result->operations) / runtime_sec : 0.0;
   result->op_stats = measurements_->Snapshot();
+  result->intervals = measurements_->Intervals();
   return Status::OK();
 }
 

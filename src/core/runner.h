@@ -39,7 +39,9 @@ struct RunOptions {
 
   /// Emit a progress sample every this many seconds (YCSB's status thread);
   /// 0 disables.  Samples go to `status_callback`, or the framework log when
-  /// the callback is empty.
+  /// the callback is empty, and are recorded as the run's `IntervalSample`
+  /// time series (one window per tick plus a final partial window, so the
+  /// windows' operations sum to `RunResult::operations`).
   double status_interval_seconds = 0.0;
   /// Receives (elapsed seconds, total ops so far, ops/sec over the last
   /// interval).  Called from the watchdog thread.
@@ -55,6 +57,10 @@ struct RunResult {
   uint64_t failed = 0;      ///< workload failures + failed commits
   ValidationResult validation;
   std::vector<OpStats> op_stats;
+  /// Per-window progress trajectory (empty unless the run had a status
+  /// interval); windows partition the run, so their `operations` sum to
+  /// `operations` above.
+  std::vector<IntervalSample> intervals;
 
   double abort_rate() const {
     return operations == 0 ? 0.0
@@ -73,6 +79,12 @@ struct RunResult {
 /// The client-thread loop implements §IV-A verbatim: `DB.Start()`, then the
 /// workload's DoTransaction, then `DB.Commit()` on success or `DB.Abort()`
 /// on failure — with the whole sequence's latency recorded as `TX-<OP>`.
+///
+/// Every client thread owns a `ThreadSink`, so recording a sample is
+/// lock-free thread-local work; sinks merge into the shared `Measurements`
+/// when the thread finishes.  The watchdog/status thread never touches the
+/// histograms mid-run — it reads per-thread interval counters (padded to a
+/// cache line each) and turns them into the run's `IntervalSample` series.
 class WorkloadRunner {
  public:
   /// All pointers are borrowed and must outlive the runner.

@@ -4,69 +4,89 @@
 
 namespace ycsbt {
 
-namespace {
+MeasuredDB::MeasuredDB(std::unique_ptr<DB> inner, Measurements* measurements)
+    : inner_(std::move(inner)), measurements_(measurements) {
+  // Interning is idempotent and cheap, and doing it here (not lazily per
+  // call) keeps the wrapper usable by tests that skip Init().
+  ResolveHandles();
+}
 
-class ScopedMeasure {
- public:
-  ScopedMeasure(Measurements* m, const char* op) : m_(m), op_(op) {}
+void MeasuredDB::ResolveHandles() {
+  ops_.read = measurements_->RegisterOp(opname::kRead);
+  ops_.scan = measurements_->RegisterOp(opname::kScan);
+  ops_.update = measurements_->RegisterOp(opname::kUpdate);
+  ops_.insert = measurements_->RegisterOp(opname::kInsert);
+  ops_.del = measurements_->RegisterOp(opname::kDelete);
+  ops_.start = measurements_->RegisterOp(opname::kStart);
+  ops_.commit = measurements_->RegisterOp(opname::kCommit);
+  ops_.abort = measurements_->RegisterOp(opname::kAbort);
+}
 
-  Status Done(Status s) {
-    m_->Measure(op_, static_cast<int64_t>(watch_.ElapsedMicros()));
-    m_->ReportStatus(op_, s);
-    return s;
+Status MeasuredDB::Init() {
+  ResolveHandles();
+  return inner_->Init();
+}
+
+Status MeasuredDB::Record(OpId op, Status status, int64_t latency_us) {
+  if (sink_ != nullptr) {
+    sink_->Record(op, latency_us, status.code());
+  } else {
+    measurements_->Record(op, latency_us, status.code());
   }
-
- private:
-  Measurements* m_;
-  const char* op_;
-  Stopwatch watch_;
-};
-
-}  // namespace
+  return status;
+}
 
 Status MeasuredDB::Read(const std::string& table, const std::string& key,
                         const std::vector<std::string>* fields, FieldMap* result) {
-  ScopedMeasure m(measurements_, opname::kRead);
-  return m.Done(inner_->Read(table, key, fields, result));
+  Stopwatch watch;
+  Status s = inner_->Read(table, key, fields, result);
+  return Record(ops_.read, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Scan(const std::string& table, const std::string& start_key,
                         size_t record_count, const std::vector<std::string>* fields,
                         std::vector<ScanRow>* result) {
-  ScopedMeasure m(measurements_, opname::kScan);
-  return m.Done(inner_->Scan(table, start_key, record_count, fields, result));
+  Stopwatch watch;
+  Status s = inner_->Scan(table, start_key, record_count, fields, result);
+  return Record(ops_.scan, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Update(const std::string& table, const std::string& key,
                           const FieldMap& values) {
-  ScopedMeasure m(measurements_, opname::kUpdate);
-  return m.Done(inner_->Update(table, key, values));
+  Stopwatch watch;
+  Status s = inner_->Update(table, key, values);
+  return Record(ops_.update, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Insert(const std::string& table, const std::string& key,
                           const FieldMap& values) {
-  ScopedMeasure m(measurements_, opname::kInsert);
-  return m.Done(inner_->Insert(table, key, values));
+  Stopwatch watch;
+  Status s = inner_->Insert(table, key, values);
+  return Record(ops_.insert, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Delete(const std::string& table, const std::string& key) {
-  ScopedMeasure m(measurements_, opname::kDelete);
-  return m.Done(inner_->Delete(table, key));
+  Stopwatch watch;
+  Status s = inner_->Delete(table, key);
+  return Record(ops_.del, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Start() {
-  ScopedMeasure m(measurements_, opname::kStart);
-  return m.Done(inner_->Start());
+  Stopwatch watch;
+  Status s = inner_->Start();
+  return Record(ops_.start, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Commit() {
-  ScopedMeasure m(measurements_, opname::kCommit);
-  return m.Done(inner_->Commit());
+  Stopwatch watch;
+  Status s = inner_->Commit();
+  return Record(ops_.commit, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Abort() {
-  ScopedMeasure m(measurements_, opname::kAbort);
-  return m.Done(inner_->Abort());
+  Stopwatch watch;
+  Status s = inner_->Abort();
+  return Record(ops_.abort, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 }  // namespace ycsbt

@@ -27,12 +27,23 @@ inline constexpr const char kAbort[] = "ABORT";
 /// YCSB has no notion of.  Comparing the same workload's series between a
 /// transactional and a non-transactional run quantifies the per-operation
 /// transactional overhead (paper §III-A, Fig 3).
+///
+/// All eight op handles are interned to dense `OpId`s once at construction
+/// (and re-resolved in `Init()`, which is a no-op re-intern), so the
+/// per-call cost is a stopwatch read plus one histogram/counter update —
+/// no string construction and no map lookup.  Bind a `ThreadSink` to make
+/// that update lock-free thread-local state (the runner does this for every
+/// client thread); unbound, samples go to the shared series under its lock.
 class MeasuredDB : public DB {
  public:
-  MeasuredDB(std::unique_ptr<DB> inner, Measurements* measurements)
-      : inner_(std::move(inner)), measurements_(measurements) {}
+  MeasuredDB(std::unique_ptr<DB> inner, Measurements* measurements);
 
-  Status Init() override { return inner_->Init(); }
+  /// Routes this wrapper's samples through `sink` (owned by the same
+  /// `Measurements`).  The calling thread must be the sink's owner; pass
+  /// nullptr to fall back to the shared series.
+  void BindSink(ThreadSink* sink) { sink_ = sink; }
+
+  Status Init() override;
   Status Cleanup() override { return inner_->Cleanup(); }
 
   Status Read(const std::string& table, const std::string& key,
@@ -54,8 +65,18 @@ class MeasuredDB : public DB {
   DB* inner() const { return inner_.get(); }
 
  private:
+  /// Resolved handles for the eight series this wrapper emits.
+  struct OpHandles {
+    OpId read, scan, update, insert, del, start, commit, abort;
+  };
+
+  void ResolveHandles();
+  Status Record(OpId op, Status status, int64_t latency_us);
+
   std::unique_ptr<DB> inner_;
   Measurements* measurements_;  // not owned
+  ThreadSink* sink_ = nullptr;  // not owned; optional
+  OpHandles ops_;
 };
 
 }  // namespace ycsbt

@@ -53,6 +53,15 @@ std::string TextExporter::Export(const RunSummary& summary,
   out << "[OVERALL], RunTime(ms), " << FormatDouble(summary.runtime_ms) << "\n";
   out << "[OVERALL], Throughput(ops/sec), "
       << FormatDouble(summary.throughput_ops_sec) << "\n";
+  if (!summary.intervals.empty()) {
+    out << "[INTERVAL], EndTime(s), Operations, Throughput(ops/sec), "
+           "AverageLatency(us)\n";
+    for (const auto& w : summary.intervals) {
+      out << "[INTERVAL], " << FormatDouble(w.end_seconds) << ", " << w.operations
+          << ", " << FormatDouble(w.ops_per_sec) << ", "
+          << FormatDouble(w.avg_latency_us) << "\n";
+    }
+  }
   for (const auto& op : ops) {
     if (op.operations == 0) continue;
     out << "[" << op.name << "], Operations, " << op.operations << "\n";
@@ -94,6 +103,19 @@ std::string JsonExporter::Export(const RunSummary& summary,
       out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
     }
     out << "},";
+  }
+  if (!summary.intervals.empty()) {
+    out << "\"intervals\":[";
+    bool first_window = true;
+    for (const auto& w : summary.intervals) {
+      if (!first_window) out << ",";
+      first_window = false;
+      out << "{\"end_s\":" << FormatDouble(w.end_seconds)
+          << ",\"ops\":" << w.operations
+          << ",\"ops_per_sec\":" << FormatDouble(w.ops_per_sec)
+          << ",\"avg_us\":" << FormatDouble(w.avg_latency_us) << "}";
+    }
+    out << "],";
   }
   out << "\"ops\":[";
   bool first_op = true;

@@ -21,6 +21,10 @@ struct RunSummary {
   bool validation_passed = true;
   /// Ordered key/value lines emitted before [OVERALL].
   std::vector<std::pair<std::string, std::string>> extra;
+  /// Per-window progress trajectory from the status thread (empty when the
+  /// run had no status interval); rendered as `[INTERVAL]` lines / an
+  /// `intervals` array after the overall figures.
+  std::vector<IntervalSample> intervals;
 };
 
 /// Renders measurements in the YCSB text format of the paper's Listing 3:
@@ -29,6 +33,8 @@ struct RunSummary {
 ///   [ANOMALY SCORE], 2.9E-5
 ///   [OVERALL], RunTime(ms), 124619.0
 ///   [OVERALL], Throughput(ops/sec), 8024.45
+///   [INTERVAL], EndTime(s), Operations, Throughput(ops/sec), AverageLatency(us)
+///   [INTERVAL], 1.0, 8123, 8123.0, 117.2
 ///   [UPDATE], Operations, 200206
 ///   [UPDATE], AverageLatency(us), 1536.46
 ///   ...

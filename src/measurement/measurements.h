@@ -1,17 +1,19 @@
 #ifndef YCSBT_MEASUREMENT_MEASUREMENTS_H_
 #define YCSBT_MEASUREMENT_MEASUREMENTS_H_
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "measurement/op_registry.h"
 
 namespace ycsbt {
 
@@ -30,23 +32,71 @@ struct OpStats {
   std::map<std::string, uint64_t> return_counts;
 };
 
-/// One measured operation series: a latency histogram plus return-code
-/// counters.  Thread-safe.
-class OpSeries {
+/// One window of the status thread's progress time series: what the run
+/// looked like between the previous sample and `end_seconds`.
+struct IntervalSample {
+  double end_seconds = 0.0;      ///< elapsed run time at the window's end
+  uint64_t operations = 0;       ///< transactions completed in this window
+  double ops_per_sec = 0.0;      ///< window throughput
+  double avg_latency_us = 0.0;   ///< mean whole-transaction latency; 0 if idle
+};
+
+class Measurements;
+
+/// Unsynchronised per-thread accumulator: plain histograms and dense
+/// return-code counters indexed by `OpId`, owned by exactly one client
+/// thread.  Recording a sample touches no lock and allocates nothing; the
+/// owner drains everything into the shared `Measurements` with `Flush()` at
+/// its merge points (end of run, or whenever it likes).
+///
+/// Created via `Measurements::CreateSink()`, which registers the sink with
+/// (and transfers ownership to) the parent; the sink stays valid until the
+/// parent is reset or destroyed.  Only the owning thread may call the
+/// recording methods and `Flush()`.
+class ThreadSink {
  public:
-  explicit OpSeries(std::string name) : name_(std::move(name)) {}
+  ThreadSink(const ThreadSink&) = delete;
+  ThreadSink& operator=(const ThreadSink&) = delete;
 
-  void Measure(int64_t latency_us);
-  void ReportStatus(const Status& status);
+  /// Records one completed operation: its latency and its return code.
+  void Record(OpId op, int64_t latency_us, Status::Code code) {
+    Slot& slot = SlotFor(op);
+    slot.histogram.Add(latency_us);
+    ++slot.returns[static_cast<size_t>(code)];
+  }
 
-  OpStats Snapshot() const;
-  const std::string& name() const { return name_; }
+  /// Records a latency sample only.
+  void Measure(OpId op, int64_t latency_us) {
+    SlotFor(op).histogram.Add(latency_us);
+  }
+
+  /// Records a return code only.
+  void ReportStatus(OpId op, Status::Code code) {
+    ++SlotFor(op).returns[static_cast<size_t>(code)];
+  }
+
+  /// Merges all locally accumulated samples into the parent `Measurements`
+  /// and resets the local accumulators.  Owner thread only; may be called
+  /// repeatedly.
+  void Flush();
 
  private:
-  const std::string name_;
-  mutable std::mutex mu_;
-  Histogram histogram_;
-  std::map<std::string, uint64_t> return_counts_;
+  friend class Measurements;
+
+  struct Slot {
+    Histogram histogram;
+    std::array<uint64_t, kStatusCodeCount> returns{};
+  };
+
+  explicit ThreadSink(Measurements* parent) : parent_(parent) {}
+
+  Slot& SlotFor(OpId op) {
+    if (op.index >= slots_.size()) slots_.resize(op.index + 1);
+    return slots_[op.index];
+  }
+
+  Measurements* parent_;
+  std::vector<Slot> slots_;
 };
 
 /// Registry of all operation series produced by a benchmark run.
@@ -57,6 +107,20 @@ class OpSeries {
 /// threads report whole-transaction `TX-<OP>` samples — giving Tier 5 its
 /// transactional-overhead data.
 ///
+/// Two recording paths exist:
+///  - The hot path: clients intern their op names to `OpId`s once at setup
+///    (`RegisterOp`), obtain a `ThreadSink` (`CreateSink`), and record
+///    lock-free into thread-local state that is merged here only at flush
+///    points.  This is what `WorkloadRunner` and `MeasuredDB` use, so client
+///    threads never serialise through the measurement layer mid-run.
+///  - A string-keyed compatibility shim (`Measure`/`ReportStatus` by name)
+///    that interns per call and records into the shared series under its
+///    mutex — the seed API, kept for tests and one-off callers.
+///
+/// Snapshots observe everything flushed (or recorded via the shim) so far;
+/// live per-window progress comes from the runner's interval counters, which
+/// feed the `IntervalSample` time series stored here.
+///
 /// One instance per run (not a process-wide singleton, unlike YCSB) so tests
 /// and multi-run benches can measure in isolation.
 class Measurements {
@@ -65,30 +129,102 @@ class Measurements {
   Measurements(const Measurements&) = delete;
   Measurements& operator=(const Measurements&) = delete;
 
+  // --- setup-time interning ---
+
+  /// Interns `op`, returning its dense id (idempotent).
+  OpId RegisterOp(const std::string& op) { return registry_.Intern(op); }
+
+  /// Name of a registered op id ("" if invalid).
+  std::string OpName(OpId op) const { return registry_.Name(op); }
+
+  /// Number of registered op series.
+  size_t op_count() const { return registry_.size(); }
+
+  // --- per-thread sinks (the lock-free hot path) ---
+
+  /// Creates a sink owned by this registry; the calling thread becomes its
+  /// owner.  The pointer stays valid until `Reset()` or destruction.
+  ThreadSink* CreateSink();
+
+  // --- interned shared-series path (setup/compat; locks per sample) ---
+
+  /// Records one completed operation into the shared series.
+  void Record(OpId op, int64_t latency_us, Status::Code code);
+
   /// Records one latency sample for `op`.
-  void Measure(const std::string& op, int64_t latency_us);
+  void Measure(OpId op, int64_t latency_us);
 
-  /// Records the outcome status for one completed `op`.
-  void ReportStatus(const std::string& op, const Status& status);
+  /// Records the outcome code for one completed `op`.
+  void ReportStatus(OpId op, Status::Code code);
 
-  /// Snapshot of every series, sorted by op name.
+  // --- string-keyed compatibility shims (the seed API) ---
+
+  void Measure(const std::string& op, int64_t latency_us) {
+    Measure(RegisterOp(op), latency_us);
+  }
+
+  void ReportStatus(const std::string& op, const Status& status) {
+    ReportStatus(RegisterOp(op), status.code());
+  }
+
+  // --- interval time series (fed by the runner's status thread) ---
+
+  /// Appends one progress window to the run's time series.
+  void RecordInterval(const IntervalSample& sample);
+
+  /// The per-window time series recorded so far.
+  std::vector<IntervalSample> Intervals() const;
+
+  // --- snapshots ---
+
+  /// Snapshot of every non-empty series, sorted by op name.  Reflects all
+  /// flushed sinks and shared-series records; samples still buffered in an
+  /// unflushed `ThreadSink` are not visible yet.
   std::vector<OpStats> Snapshot() const;
 
   /// Snapshot of a single series; zeroed stats if the op never ran.
   OpStats SnapshotOp(const std::string& op) const;
+  OpStats SnapshotOp(OpId op) const;
 
   /// Sum of `operations` across series whose name matches exactly one of the
   /// workload-level ops (helper for computing overall counts in tests).
   uint64_t TotalOperations(const std::vector<std::string>& ops) const;
 
-  /// Drops all recorded series.
+  /// Drops all recorded series, sinks and intervals.  Invalidates every
+  /// pointer returned by `CreateSink`; callers must not reset while client
+  /// threads are still recording.
   void Reset();
 
  private:
-  OpSeries* GetOrCreate(const std::string& op);
+  friend class ThreadSink;
 
-  mutable std::shared_mutex map_mu_;
-  std::unordered_map<std::string, std::unique_ptr<OpSeries>> series_;
+  /// One shared series cell, merged into under its own mutex.
+  struct Series {
+    mutable std::mutex mu;
+    Histogram histogram;
+    std::array<uint64_t, kStatusCodeCount> returns{};
+  };
+
+  /// Cell for `op`, growing the dense store on demand.  The returned pointer
+  /// is stable (deque storage).
+  Series* SeriesFor(OpId op);
+  const Series* SeriesForIfPresent(OpId op) const;
+
+  void MergeSlot(OpId op, const ThreadSink::Slot& slot);
+
+  OpStats SnapshotCell(const Series& cell, std::string name) const;
+
+  OpRegistry registry_;
+
+  /// Guards the deque's *structure* (growth); each element has its own lock.
+  mutable std::shared_mutex series_mu_;
+  std::deque<Series> series_;  // dense by OpId; deque keeps elements stable
+
+  std::mutex sinks_mu_;
+  std::vector<std::unique_ptr<ThreadSink>> sinks_;
+
+  mutable std::mutex intervals_mu_;
+  std::vector<IntervalSample> intervals_;
 };
 
 }  // namespace ycsbt

@@ -69,6 +69,22 @@ TEST_F(RunnerTest, LoadInsertsExactlyRecordCountAcrossThreads) {
   EXPECT_EQ(w.inserts.load(), 103u);
 }
 
+TEST_F(RunnerTest, LoadSurfacesInitFailureAndSkippedQuota) {
+  CountingWorkload w;
+  w.records = 40;
+  DBFactory uninitialized(Props({{"db", "memkv"}}));  // Init() never called
+  WorkloadRunner runner(&uninitialized, &w, &measurements_);
+  LoadOptions load;
+  load.threads = 4;
+  Status s = runner.Load(load);
+  ASSERT_TRUE(s.IsInternal());
+  // The cause and the un-inserted quota both appear, instead of the seed's
+  // silent return with a bare "client init failed".
+  EXPECT_NE(s.message().find("factory returned no client"), std::string::npos);
+  EXPECT_NE(s.message().find("skipped 40 inserts"), std::string::npos);
+  EXPECT_EQ(w.inserts.load(), 0u);
+}
+
 TEST_F(RunnerTest, RunExecutesExactOperationBudget) {
   CountingWorkload w;
   WorkloadRunner runner(factory_.get(), &w, &measurements_);
@@ -194,6 +210,44 @@ TEST_F(RunnerTest, StatusCallbackSamplesProgress) {
   ASSERT_TRUE(runner.Run(run, &result).ok());
   EXPECT_GE(samples.load(), 2);
   EXPECT_LE(samples.load(), 6);
+}
+
+TEST_F(RunnerTest, IntervalSeriesPartitionsTheRun) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 2;
+  run.operation_count = 0;
+  run.max_execution_seconds = 0.45;
+  run.status_interval_seconds = 0.1;
+  run.status_callback = [](double, uint64_t, double) {};
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+
+  ASSERT_FALSE(result.intervals.empty());
+  double prev_end = 0.0;
+  uint64_t window_sum = 0;
+  for (const auto& window : result.intervals) {
+    EXPECT_GT(window.end_seconds, prev_end);  // monotone in elapsed time
+    EXPECT_GE(window.ops_per_sec, 0.0);
+    EXPECT_GE(window.avg_latency_us, 0.0);
+    prev_end = window.end_seconds;
+    window_sum += window.operations;
+  }
+  // The windows partition the run: no sample is dropped or double-counted.
+  EXPECT_EQ(window_sum, result.operations);
+  // The series also lands in the summary for the exporters.
+  EXPECT_EQ(result.MakeSummary().intervals.size(), result.intervals.size());
+}
+
+TEST_F(RunnerTest, NoStatusIntervalMeansNoSeries) {
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.operation_count = 50;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_TRUE(result.intervals.empty());
 }
 
 TEST_F(RunnerTest, MakeSummaryCarriesValidation) {

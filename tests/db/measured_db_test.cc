@@ -68,6 +68,24 @@ TEST(MeasuredDBTest, PropagatesInnerStatus) {
   EXPECT_TRUE(db.Update("t", "missing", {{"f", "v"}}).IsNotFound());
 }
 
+TEST(MeasuredDBTest, BoundSinkBuffersUntilFlush) {
+  Measurements m;
+  MeasuredDB db(std::make_unique<BasicDB>(), &m);
+  ThreadSink* sink = m.CreateSink();
+  db.BindSink(sink);
+  FieldMap result;
+  db.Read("t", "k", nullptr, &result);
+  db.Start();
+  db.Commit();
+  // Samples sit in the thread-local sink until the owner flushes.
+  EXPECT_EQ(m.SnapshotOp(opname::kRead).operations, 0u);
+  sink->Flush();
+  EXPECT_EQ(m.SnapshotOp(opname::kRead).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kStart).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kCommit).operations, 1u);
+  EXPECT_EQ(m.SnapshotOp(opname::kRead).return_counts["OK"], 1u);
+}
+
 TEST(MeasuredDBTest, ForwardsTransactionality) {
   Measurements m;
   MeasuredDB non_tx(std::make_unique<BasicDB>(), &m);

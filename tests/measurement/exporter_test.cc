@@ -96,6 +96,33 @@ TEST(JsonExporterTest, WellFormedAndComplete) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(TextExporterTest, EmitsIntervalTrajectory) {
+  RunSummary s = CewSummary();
+  s.intervals = {{1.0, 8123, 8123.0, 117.2}, {2.0, 8200, 8200.0, 115.9}};
+  std::string out = TextExporter::Export(s, {});
+  EXPECT_NE(out.find("[INTERVAL], EndTime(s), Operations, Throughput(ops/sec), "
+                     "AverageLatency(us)"),
+            std::string::npos);
+  EXPECT_NE(out.find("[INTERVAL], 1, 8123, 8123, 117.2"), std::string::npos);
+  EXPECT_NE(out.find("[INTERVAL], 2, 8200, 8200, 115.9"), std::string::npos);
+}
+
+TEST(TextExporterTest, NoIntervalsNoTrajectoryBlock) {
+  std::string out = TextExporter::Export(CewSummary(), SampleOps());
+  EXPECT_EQ(out.find("[INTERVAL]"), std::string::npos);
+}
+
+TEST(JsonExporterTest, EmitsIntervalArray) {
+  RunSummary s = CewSummary();
+  s.intervals = {{0.5, 100, 200.0, 50.0}};
+  std::string out = JsonExporter::Export(s, {});
+  EXPECT_NE(out.find("\"intervals\":[{\"end_s\":0.5,\"ops\":100,"
+                     "\"ops_per_sec\":200,\"avg_us\":50}]"),
+            std::string::npos);
+  std::string without = JsonExporter::Export(CewSummary(), {});
+  EXPECT_EQ(without.find("intervals"), std::string::npos);
+}
+
 TEST(JsonExporterTest, EscapesSpecialCharacters) {
   RunSummary s;
   s.extra = {{"KEY \"quoted\"", "line\nbreak\\slash"}};

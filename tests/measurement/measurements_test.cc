@@ -107,6 +107,93 @@ TEST(MeasurementsTest, ConcurrentDistinctSeriesCreation) {
   EXPECT_EQ(m.Snapshot().size(), 37u);
 }
 
+TEST(OpRegistryTest, InternIsDenseAndIdempotent) {
+  OpRegistry r;
+  OpId read = r.Intern("READ");
+  OpId commit = r.Intern("COMMIT");
+  EXPECT_EQ(read.index, 0u);
+  EXPECT_EQ(commit.index, 1u);
+  EXPECT_EQ(r.Intern("READ"), read);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Name(read), "READ");
+  EXPECT_EQ(r.Find("COMMIT"), commit);
+  EXPECT_FALSE(r.Find("ABSENT").valid());
+  EXPECT_EQ(r.Name(OpId{}), "");
+}
+
+TEST(MeasurementsTest, RegisteredButIdleOpsAreInvisible) {
+  Measurements m;
+  OpId read = m.RegisterOp("READ");
+  m.RegisterOp("COMMIT");
+  EXPECT_TRUE(m.Snapshot().empty());  // nothing recorded yet
+  m.Measure(read, 42);
+  auto all = m.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "READ");
+}
+
+TEST(MeasurementsTest, InternedRecordMatchesStringShim) {
+  Measurements m;
+  OpId update = m.RegisterOp("UPDATE");
+  m.Record(update, 100, Status::Code::kOk);
+  m.Record(update, 300, Status::Code::kConflict);
+  m.Measure("UPDATE", 200);  // string shim lands in the same series
+  OpStats s = m.SnapshotOp("UPDATE");
+  EXPECT_EQ(s.operations, 3u);
+  EXPECT_DOUBLE_EQ(s.average_latency_us, 200.0);
+  EXPECT_EQ(s.return_counts["OK"], 1u);
+  EXPECT_EQ(s.return_counts["Conflict"], 1u);
+}
+
+TEST(ThreadSinkTest, SamplesInvisibleUntilFlush) {
+  Measurements m;
+  OpId read = m.RegisterOp("READ");
+  ThreadSink* sink = m.CreateSink();
+  sink->Record(read, 10, Status::Code::kOk);
+  sink->Record(read, 30, Status::Code::kNotFound);
+  EXPECT_EQ(m.SnapshotOp("READ").operations, 0u);
+  sink->Flush();
+  OpStats s = m.SnapshotOp("READ");
+  EXPECT_EQ(s.operations, 2u);
+  EXPECT_DOUBLE_EQ(s.average_latency_us, 20.0);
+  EXPECT_EQ(s.return_counts["OK"], 1u);
+  EXPECT_EQ(s.return_counts["NotFound"], 1u);
+}
+
+TEST(ThreadSinkTest, RepeatedFlushDoesNotDoubleCount) {
+  Measurements m;
+  OpId read = m.RegisterOp("READ");
+  ThreadSink* sink = m.CreateSink();
+  sink->Record(read, 10, Status::Code::kOk);
+  sink->Flush();
+  sink->Flush();  // local state was drained; nothing new to merge
+  EXPECT_EQ(m.SnapshotOp("READ").operations, 1u);
+  sink->Record(read, 20, Status::Code::kOk);
+  sink->Flush();
+  EXPECT_EQ(m.SnapshotOp("READ").operations, 2u);
+}
+
+TEST(ThreadSinkTest, HandlesOpsRegisteredAfterCreation) {
+  Measurements m;
+  ThreadSink* sink = m.CreateSink();
+  OpId late = m.RegisterOp("TX-READ");  // registered after the sink existed
+  sink->Record(late, 5, Status::Code::kOk);
+  sink->Flush();
+  EXPECT_EQ(m.SnapshotOp("TX-READ").operations, 1u);
+}
+
+TEST(MeasurementsTest, IntervalSeriesRoundTrips) {
+  Measurements m;
+  m.RecordInterval({0.5, 100, 200.0, 50.0});
+  m.RecordInterval({1.0, 150, 300.0, 40.0});
+  auto windows = m.Intervals();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].end_seconds, 0.5);
+  EXPECT_EQ(windows[1].operations, 150u);
+  m.Reset();
+  EXPECT_TRUE(m.Intervals().empty());
+}
+
 TEST(MeasurementsTest, PercentilesOrdered) {
   Measurements m;
   for (int i = 1; i <= 1000; ++i) m.Measure("SCAN", i);
