@@ -91,6 +91,7 @@ Status SimCloudStore::BeginRequest(bool is_write, const std::string& key) {
   }
 
   // 2. Container request-rate cap (token-bucket queue), per partition.
+  bool delayed = false;
   TokenBucket& container = ContainerFor(key);
   if (!container.Unlimited()) {
     uint64_t delay_ns = container.AcquireDelayNanos();
@@ -100,10 +101,12 @@ Status SimCloudStore::BeginRequest(bool is_write, const std::string& key) {
         throttled_.fetch_add(1, std::memory_order_relaxed);
         return Status::RateLimited(profile_.name + " container busy");
       }
+      delayed = true;
       queue_delayed_.fetch_add(1, std::memory_order_relaxed);
       SleepMicros(delay_ns / 1000);
     }
   }
+  if (!delayed) ok_.fetch_add(1, std::memory_order_relaxed);
 
   // 3. Service latency for the request itself.
   (is_write ? write_latency_ : read_latency_).Inject(ThreadLocalRandom());

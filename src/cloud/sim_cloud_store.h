@@ -64,11 +64,15 @@ struct CloudProfile {
   static CloudProfile Gcs();
 };
 
-/// Running counters exposed for benches and tests.
+/// Running counters exposed for benches and tests.  Per-outcome counts
+/// partition `requests`: every request is exactly one of throttled
+/// (rejected with RateLimited), queue_delayed (admitted after waiting on
+/// the rate cap) or ok (admitted without queueing).
 struct CloudStats {
   uint64_t requests = 0;
   uint64_t throttled = 0;       ///< requests rejected with RateLimited
   uint64_t queue_delayed = 0;   ///< requests that waited on the rate cap
+  uint64_t ok = 0;              ///< requests admitted without queue delay
 };
 
 /// A simulated cloud object store implementing the `kv::Store` interface.
@@ -97,7 +101,8 @@ class SimCloudStore : public kv::Store {
   const CloudProfile& profile() const { return profile_; }
 
   CloudStats stats() const {
-    return CloudStats{requests_.load(), throttled_.load(), queue_delayed_.load()};
+    return CloudStats{requests_.load(), throttled_.load(), queue_delayed_.load(),
+                      ok_.load()};
   }
 
   /// Scales all latency parameters by `factor` (tests use ~0.01 so suites
@@ -128,6 +133,7 @@ class SimCloudStore : public kv::Store {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> throttled_{0};
   std::atomic<uint64_t> queue_delayed_{0};
+  std::atomic<uint64_t> ok_{0};
 };
 
 }  // namespace cloud

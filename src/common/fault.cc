@@ -1,0 +1,37 @@
+#include "common/fault.h"
+
+namespace ycsbt {
+
+const char* CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kAfterLockPuts:
+      return "after_lock_puts";
+    case CrashPoint::kAfterTsrPut:
+      return "after_tsr_put";
+    case CrashPoint::kMidRollForward:
+      return "mid_roll_forward";
+    case CrashPoint::kBeforeTsrDelete:
+      return "before_tsr_delete";
+  }
+  return "unknown";
+}
+
+uint32_t ParseCrashPointToken(const std::string& token) {
+  if (token == "all") {
+    return CrashPointBit(CrashPoint::kAfterLockPuts) |
+           CrashPointBit(CrashPoint::kAfterTsrPut) |
+           CrashPointBit(CrashPoint::kMidRollForward) |
+           CrashPointBit(CrashPoint::kBeforeTsrDelete);
+  }
+  if (token == "after_lock_puts") return CrashPointBit(CrashPoint::kAfterLockPuts);
+  if (token == "after_tsr_put" || token == "before_roll_forward") {
+    return CrashPointBit(CrashPoint::kAfterTsrPut);
+  }
+  if (token == "mid_roll_forward") return CrashPointBit(CrashPoint::kMidRollForward);
+  if (token == "before_tsr_delete") {
+    return CrashPointBit(CrashPoint::kBeforeTsrDelete);
+  }
+  return 0;
+}
+
+}  // namespace ycsbt

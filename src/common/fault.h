@@ -1,0 +1,56 @@
+#ifndef YCSBT_COMMON_FAULT_H_
+#define YCSBT_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ycsbt {
+
+/// Named points in the client-coordinated commit pipeline where a simulated
+/// client crash can be injected (paper §II-B: the protocol is explicitly
+/// designed so any later reader repairs a client that dies mid-commit via
+/// its transaction status record).
+///
+/// The points bracket the pipeline's state transitions:
+///   kAfterLockPuts   — locks planted, no TSR: recovery must roll BACK.
+///   kAfterTsrPut     — commit point passed, nothing applied: recovery must
+///                      roll FORWARD every locked record.
+///   kMidRollForward  — commit point passed, some records applied: recovery
+///                      must roll forward the remainder (partial-apply tear).
+///   kBeforeTsrDelete — all records applied, TSR left behind: harmless
+///                      garbage any TSR reader tolerates.
+enum class CrashPoint : uint32_t {
+  kAfterLockPuts = 0,
+  kAfterTsrPut = 1,
+  kMidRollForward = 2,
+  kBeforeTsrDelete = 3,
+};
+
+inline constexpr uint32_t CrashPointBit(CrashPoint p) {
+  return 1u << static_cast<uint32_t>(p);
+}
+
+/// Short name of a crash point (the `fault.crash_points` property tokens).
+const char* CrashPointName(CrashPoint p);
+
+/// Parses one crash-point token; returns 0 for an unknown name.  Accepts
+/// "all" as every point and "before_roll_forward" as an alias of
+/// "after_tsr_put" (the pipeline has no work between the two).
+uint32_t ParseCrashPointToken(const std::string& token);
+
+/// Consulted by the transaction library at each `CrashPoint`.  Implemented
+/// by the fault-injection layer; a null injector means crashes are off.
+/// `ShouldCrash` must be thread-safe (commit runs on every client thread).
+class CrashInjector {
+ public:
+  virtual ~CrashInjector() = default;
+
+  /// True when the pipeline should abandon the transaction *right here*,
+  /// leaving all store-side state (locks, TSR) exactly as a dead client
+  /// would.
+  virtual bool ShouldCrash(CrashPoint point) = 0;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_FAULT_H_

@@ -1,0 +1,46 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+
+namespace ycsbt {
+
+RetryPolicy RetryPolicy::FromProperties(const Properties& props) {
+  RetryPolicy p;
+  p.max_attempts =
+      static_cast<int>(props.GetInt("retry.max_attempts", p.max_attempts));
+  if (p.max_attempts < 1) p.max_attempts = 1;
+  p.initial_backoff_us =
+      props.GetUint("retry.backoff_initial_us", p.initial_backoff_us);
+  p.max_backoff_us = props.GetUint("retry.backoff_max_us", p.max_backoff_us);
+  if (p.max_backoff_us < p.initial_backoff_us) {
+    p.max_backoff_us = p.initial_backoff_us;
+  }
+  p.multiplier = props.GetDouble("retry.backoff_multiplier", p.multiplier);
+  if (p.multiplier < 1.0) p.multiplier = 1.0;
+  p.decorrelated_jitter = props.GetBool("retry.jitter", p.decorrelated_jitter);
+  p.deadline_us = props.GetUint("retry.deadline_us", p.deadline_us);
+  return p;
+}
+
+uint64_t RetryState::NextBackoffUs(Random64& rng) {
+  uint64_t base = policy_.initial_backoff_us;
+  if (base == 0) return 0;
+  uint64_t next;
+  if (policy_.decorrelated_jitter) {
+    // sleep = min(cap, uniform(base, prev * 3)); successive sleeps are
+    // correlated only through the previous sleep, not the attempt number.
+    uint64_t hi = std::max(base + 1, prev_us_ * 3);
+    next = std::min(base + rng.Uniform(hi - base), policy_.max_backoff_us);
+    prev_us_ = std::max(next, base);
+  } else {
+    // Deterministic ladder: base, base*m, base*m^2, ... capped.
+    next = std::min(prev_us_, policy_.max_backoff_us);
+    double grown = static_cast<double>(prev_us_) * policy_.multiplier;
+    prev_us_ = grown >= static_cast<double>(policy_.max_backoff_us)
+                   ? policy_.max_backoff_us
+                   : static_cast<uint64_t>(grown);
+  }
+  return next;
+}
+
+}  // namespace ycsbt

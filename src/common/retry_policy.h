@@ -1,0 +1,67 @@
+#ifndef YCSBT_COMMON_RETRY_POLICY_H_
+#define YCSBT_COMMON_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/properties.h"
+#include "common/random.h"
+
+namespace ycsbt {
+
+/// Client-side retry discipline for transactions that fail with a retryable
+/// status (`Status::IsRetryable()`): bounded attempts, exponential backoff
+/// with decorrelated jitter, and an overall per-transaction deadline.
+///
+/// Configured from the `retry.*` property namespace:
+///
+///   retry.max_attempts        total attempts per transaction (default 1 =
+///                             retries off, the seed behaviour)
+///   retry.backoff_initial_us  first backoff (default 100)
+///   retry.backoff_max_us      backoff cap (default 100000)
+///   retry.backoff_multiplier  growth factor without jitter (default 2.0)
+///   retry.jitter              decorrelated jitter on/off (default true)
+///   retry.deadline_us         per-transaction wall budget spanning all
+///                             attempts and backoffs; 0 = none (default)
+struct RetryPolicy {
+  int max_attempts = 1;
+  uint64_t initial_backoff_us = 100;
+  uint64_t max_backoff_us = 100'000;
+  double multiplier = 2.0;
+  bool decorrelated_jitter = true;
+  uint64_t deadline_us = 0;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  static RetryPolicy FromProperties(const Properties& props);
+};
+
+/// Per-transaction backoff sequence.  Construct one per transaction attempt
+/// chain; each `NextBackoffUs` advances the schedule.
+///
+/// With jitter the schedule is AWS-style *decorrelated jitter*
+/// (sleep = uniform(base, prev * 3), capped), which spreads synchronized
+/// retry storms far better than plain exponential backoff; without jitter it
+/// is the deterministic base * multiplier^n ladder.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy)
+      : policy_(policy), prev_us_(policy.initial_backoff_us) {}
+
+  uint64_t NextBackoffUs(Random64& rng);
+
+  /// True when `attempt` (1-based count of attempts already made) has
+  /// exhausted the policy or `elapsed_us` blew the deadline.
+  bool Exhausted(int attempts_made, uint64_t elapsed_us) const {
+    if (attempts_made >= policy_.max_attempts) return true;
+    if (policy_.deadline_us != 0 && elapsed_us >= policy_.deadline_us) return true;
+    return false;
+  }
+
+ private:
+  const RetryPolicy& policy_;
+  uint64_t prev_us_;
+};
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_RETRY_POLICY_H_

@@ -35,7 +35,14 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     run.target_ops_per_sec = props.GetDouble("target", 0.0);
     run.wrap_in_transactions = props.GetBool("dotransactions", true);
     run.status_interval_seconds = props.GetDouble("status.interval", 0.0);
+    run.stall_windows = static_cast<int>(props.GetInt("status.stall_windows", 3));
+    run.retry = RetryPolicy::FromProperties(props);
+    // Faults perturb only the measured run — the load phase must populate
+    // the table completely and the validation sweep must see the store as
+    // it is.
+    if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(true);
     s = runner.Run(run, result);
+    if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(false);
     if (!s.ok()) return s;
   }
 

@@ -19,8 +19,15 @@ namespace core {
 ///   target             aggregate target ops/sec; 0 = unthrottled
 ///   dotransactions     wrap operations in Start/Commit/Abort (default true)
 ///   status.interval    seconds between progress log lines (0 = off)
+///   status.stall_windows  consecutive no-progress status windows before the
+///                      watchdog flags a client thread (default 3; 0 = off)
 ///   loadwrapped        wrap load-phase inserts too (default false)
 ///   skipload           reuse an already-loaded factory (default false)
+///
+/// The `retry.*` namespace (see `RetryPolicy`) configures the transaction
+/// retry loop, and the `fault.*` namespace (see `kv::FaultOptions`) the
+/// fault-injection layer, which is armed only for the measured run phase —
+/// never for the load or validation stages.
 ///
 /// `report` (optional) receives the full text export.
 Status RunBenchmark(const Properties& props, RunResult* result,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -23,6 +24,31 @@ RunSummary RunResult::MakeSummary() const {
   summary.has_validation = validation.performed;
   summary.validation_passed = validation.passed;
   summary.extra = validation.report;
+  if (retries_enabled) {
+    summary.extra.emplace_back("TX-RETRIES", std::to_string(retries));
+    char per_txn[32];
+    std::snprintf(per_txn, sizeof(per_txn), "%.4f",
+                  operations == 0 ? 0.0
+                                  : static_cast<double>(retries) /
+                                        static_cast<double>(operations));
+    summary.extra.emplace_back("RETRIES PER TXN", per_txn);
+    summary.extra.emplace_back("TIME IN BACKOFF(us)",
+                               std::to_string(backoff_time_us));
+    summary.extra.emplace_back("TX-GIVEUPS", std::to_string(giveups));
+  }
+  if (roll_forwards != 0 || roll_backs != 0 || injected_crashes != 0 ||
+      ambiguous_commits != 0) {
+    summary.extra.emplace_back("RECOVERY ROLLFORWARDS",
+                               std::to_string(roll_forwards));
+    summary.extra.emplace_back("RECOVERY ROLLBACKS", std::to_string(roll_backs));
+    summary.extra.emplace_back("INJECTED CRASHES",
+                               std::to_string(injected_crashes));
+    summary.extra.emplace_back("AMBIGUOUS COMMITS",
+                               std::to_string(ambiguous_commits));
+  }
+  if (stall_events != 0) {
+    summary.extra.emplace_back("WATCHDOG STALLS", std::to_string(stall_events));
+  }
   summary.intervals = intervals;
   return summary;
 }
@@ -46,6 +72,12 @@ struct alignas(64) ClientProgress {
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> failed{0};
   std::atomic<uint64_t> latency_sum_us{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> giveups{0};
+  std::atomic<uint64_t> backoff_us{0};
+  /// Set when the thread exits its loop, so the watchdog's stall detector
+  /// does not flag finished threads.
+  std::atomic<bool> done{false};
 };
 
 /// Sums one field across all client progress lines (relaxed reads; exact
@@ -159,6 +191,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       auto raw = factory_->CreateClient();
       if (raw == nullptr) {
         init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+        progress[static_cast<size_t>(t)].done.store(true, std::memory_order_relaxed);
         finished.fetch_add(1, std::memory_order_relaxed);
         return;
       }
@@ -170,15 +203,22 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       db.BindSink(sink);
       if (!db.Init().ok()) {
         init_errors[static_cast<size_t>(t)] = Status::Internal("client init failed");
+        progress[static_cast<size_t>(t)].done.store(true, std::memory_order_relaxed);
         finished.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       auto state = workload_->InitThread(t, threads);
       TxSeriesCache tx_series(measurements_);
+      OpId retry_series = measurements_->RegisterOp("TX-RETRY");
+      OpId giveup_series = measurements_->RegisterOp("TX-GIVEUP");
       ClientProgress& mine = progress[static_cast<size_t>(t)];
       uint64_t quota = options.operation_count == 0
                            ? std::numeric_limits<uint64_t>::max()
                            : ShareOf(options.operation_count, t, threads);
+      // Backoff randomness lives on its own stream so the retry schedule
+      // never perturbs the workload's deterministic key/op streams.
+      Random64 backoff_rng(workload_->base_seed() ^ 0xBACC0FFull ^
+                           (static_cast<uint64_t>(t) << 32));
 
       start_gate.Wait();
       uint64_t interval_ns =
@@ -186,6 +226,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       uint64_t next_op_ns = SteadyNanos();
 
       uint64_t ops = 0, committed = 0, failed = 0, latency_sum_us = 0;
+      uint64_t retries = 0, giveups = 0, backoff_us = 0;
       for (uint64_t i = 0; i < quota && !stop.load(std::memory_order_relaxed); ++i) {
         if (interval_ns != 0) {
           uint64_t now = SteadyNanos();
@@ -193,15 +234,43 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
           next_op_ns += interval_ns;
         }
 
+        // Whole-transaction latency spans every attempt and backoff, so the
+        // TX-<OP> series reports what the end user experienced.
         Stopwatch txn_watch;
         bool commit_ok;
         TxnOpResult op;
         if (options.wrap_in_transactions) {
-          // The YCSB+T client-thread protocol (paper §IV-A).
-          db.Start();
-          op = workload_->DoTransaction(db, state.get());
-          Status cs = op.ok ? db.Commit() : db.Abort();
-          commit_ok = op.ok && cs.ok();
+          // The YCSB+T client-thread protocol (paper §IV-A), wrapped in the
+          // bounded retry loop.
+          RetryState backoff(options.retry);
+          for (int attempt = 1; /* exits below */; ++attempt) {
+            db.Start();
+            op = workload_->DoTransaction(db, state.get());
+            Status cs = op.ok ? db.Commit() : db.Abort();
+            commit_ok = op.ok && cs.ok();
+            if (commit_ok) break;
+            Status failure =
+                op.ok ? cs : Status::Aborted("workload operation failed");
+            if (!failure.IsRetryable() ||
+                backoff.Exhausted(attempt, txn_watch.ElapsedMicros())) {
+              if (options.retry.enabled()) {
+                sink->Record(giveup_series,
+                             static_cast<int64_t>(txn_watch.ElapsedMicros()),
+                             failure.code());
+                ++giveups;
+              }
+              break;
+            }
+            // Let the workload unwind out-of-band attempt state (CEW refunds
+            // its pending withdrawal) before DoTransaction runs again.
+            workload_->OnTransactionRetry(state.get(), op);
+            uint64_t pause_us = backoff.NextBackoffUs(backoff_rng);
+            sink->Record(retry_series, static_cast<int64_t>(pause_us),
+                         failure.code());
+            ++retries;
+            backoff_us += pause_us;
+            if (pause_us != 0) SleepMicros(pause_us);
+          }
         } else {
           op = workload_->DoTransaction(db, state.get());
           commit_ok = op.ok;
@@ -225,22 +294,35 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         mine.committed.store(committed, std::memory_order_relaxed);
         mine.failed.store(failed, std::memory_order_relaxed);
         mine.latency_sum_us.store(latency_sum_us, std::memory_order_relaxed);
+        mine.retries.store(retries, std::memory_order_relaxed);
+        mine.giveups.store(giveups, std::memory_order_relaxed);
+        mine.backoff_us.store(backoff_us, std::memory_order_relaxed);
       }
       sink->Flush();
       db.Cleanup();
+      mine.done.store(true, std::memory_order_relaxed);
       finished.fetch_add(1, std::memory_order_relaxed);
     });
   }
+
+  // Snapshot the transaction library's recovery counters so the run's delta
+  // (what happened *during* this window) can be reported afterwards.
+  txn::TxnStats txn_before;
+  txn::ClientTxnStore* txn_store = factory_->client_txn_store();
+  if (txn_store != nullptr) txn_before = txn_store->stats();
 
   Stopwatch run_watch;
   start_gate.CountDown();
 
   // Watchdog + status thread (YCSB's status reporter): samples progress at
-  // the configured interval, records the per-window time series, and flips
-  // the stop flag at the deadline.
+  // the configured interval, records the per-window time series, flags
+  // stalled client threads, and flips the stop flag at the deadline.
   double last_time = 0.0;
   uint64_t last_ops = 0;
   uint64_t last_latency_sum = 0;
+  uint64_t stall_events = 0;
+  std::vector<uint64_t> stall_last_ops(static_cast<size_t>(threads), 0);
+  std::vector<int> stall_windows(static_cast<size_t>(threads), 0);
   {
     double next_status = options.status_interval_seconds;
     while (finished.load(std::memory_order_relaxed) < threads) {
@@ -251,6 +333,30 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         stop.store(true, std::memory_order_relaxed);
       }
       if (options.status_interval_seconds > 0.0 && elapsed >= next_status) {
+        if (options.stall_windows > 0) {
+          for (int c = 0; c < threads; ++c) {
+            const ClientProgress& p = progress[static_cast<size_t>(c)];
+            if (p.done.load(std::memory_order_relaxed)) {
+              stall_windows[static_cast<size_t>(c)] = 0;
+              continue;
+            }
+            uint64_t now_ops = p.ops.load(std::memory_order_relaxed);
+            if (now_ops == stall_last_ops[static_cast<size_t>(c)]) {
+              if (++stall_windows[static_cast<size_t>(c)] >=
+                  options.stall_windows) {
+                YCSBT_WARN("[WATCHDOG] client thread "
+                           << c << " made no progress for "
+                           << options.stall_windows << " status windows (stuck at "
+                           << now_ops << " ops)");
+                ++stall_events;
+                stall_windows[static_cast<size_t>(c)] = 0;
+              }
+            } else {
+              stall_windows[static_cast<size_t>(c)] = 0;
+            }
+            stall_last_ops[static_cast<size_t>(c)] = now_ops;
+          }
+        }
         uint64_t ops = SumProgress(progress, &ClientProgress::ops);
         uint64_t latency_sum =
             SumProgress(progress, &ClientProgress::latency_sum_us);
@@ -309,6 +415,28 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   result->failed = SumProgress(progress, &ClientProgress::failed);
   result->throughput_ops_sec =
       runtime_sec > 0.0 ? static_cast<double>(result->operations) / runtime_sec : 0.0;
+  result->retries_enabled = options.wrap_in_transactions && options.retry.enabled();
+  result->retries = SumProgress(progress, &ClientProgress::retries);
+  result->giveups = SumProgress(progress, &ClientProgress::giveups);
+  result->backoff_time_us = SumProgress(progress, &ClientProgress::backoff_us);
+  result->stall_events = stall_events;
+
+  if (txn_store != nullptr) {
+    // Recovery work done during the run window, as deltas against the
+    // pre-run snapshot, surfaced both in the result and as zero-latency
+    // count series so both exporters render them.
+    txn::TxnStats after = txn_store->stats();
+    result->roll_forwards = after.roll_forwards - txn_before.roll_forwards;
+    result->roll_backs = after.roll_backs - txn_before.roll_backs;
+    result->injected_crashes = after.injected_crashes - txn_before.injected_crashes;
+    result->ambiguous_commits =
+        after.ambiguous_commits - txn_before.ambiguous_commits;
+    measurements_->RecordMany(measurements_->RegisterOp("TXN-RECOVERY-FORWARD"), 0,
+                              Status::Code::kOk, result->roll_forwards);
+    measurements_->RecordMany(measurements_->RegisterOp("TXN-RECOVERY-BACK"), 0,
+                              Status::Code::kOk, result->roll_backs);
+  }
+
   result->op_stats = measurements_->Snapshot();
   result->intervals = measurements_->Intervals();
   return Status::OK();

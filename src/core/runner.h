@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "core/workload.h"
 #include "db/db_factory.h"
 #include "measurement/exporter.h"
@@ -46,6 +47,18 @@ struct RunOptions {
   /// Receives (elapsed seconds, total ops so far, ops/sec over the last
   /// interval).  Called from the watchdog thread.
   std::function<void(double, uint64_t, double)> status_callback;
+
+  /// Transaction retry discipline (only in `wrap_in_transactions` mode): a
+  /// transaction failing with a retryable status is re-run — with the
+  /// workload's `OnTransactionRetry` hook between attempts — after a backoff.
+  /// Default: retries off (the seed behaviour).
+  RetryPolicy retry;
+
+  /// Watchdog stall detection: a client thread whose operation counter does
+  /// not advance for this many consecutive status windows is flagged (warn
+  /// log + `watchdog stalls` summary note).  Needs a status interval; 0
+  /// disables.
+  int stall_windows = 3;
 };
 
 /// Everything a finished run reports.
@@ -55,6 +68,21 @@ struct RunResult {
   uint64_t operations = 0;  ///< workload transactions attempted
   uint64_t committed = 0;   ///< transactions whose commit succeeded
   uint64_t failed = 0;      ///< workload failures + failed commits
+
+  // Retry-loop accounting (all zero when retries are off).
+  bool retries_enabled = false;
+  uint64_t retries = 0;          ///< extra attempts made across all txns
+  uint64_t giveups = 0;          ///< txns that failed with retries available exhausted
+  uint64_t backoff_time_us = 0;  ///< total wall time spent sleeping between attempts
+
+  // Recovery/fault accounting for the run window (txn+ bindings only).
+  uint64_t roll_forwards = 0;     ///< abandoned committed txns repaired
+  uint64_t roll_backs = 0;        ///< abandoned uncommitted txns undone
+  uint64_t injected_crashes = 0;  ///< commit-pipeline crash points fired
+  uint64_t ambiguous_commits = 0; ///< lost TSR replies settled by re-read
+
+  uint64_t stall_events = 0;  ///< watchdog stall flags raised
+
   ValidationResult validation;
   std::vector<OpStats> op_stats;
   /// Per-window progress trajectory (empty unless the run had a status

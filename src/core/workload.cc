@@ -21,5 +21,12 @@ void Workload::OnTransactionOutcome(ThreadState* /*state*/,
                                     const TxnOpResult& /*result*/,
                                     bool /*committed*/) {}
 
+void Workload::OnTransactionRetry(ThreadState* state, const TxnOpResult& result) {
+  // A retried attempt is an aborted outcome as far as out-of-band state is
+  // concerned (CEW refunds its pending withdrawal and re-derives the amount
+  // on the next attempt).
+  OnTransactionOutcome(state, result, /*committed=*/false);
+}
+
 }  // namespace core
 }  // namespace ycsbt

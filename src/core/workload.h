@@ -91,6 +91,12 @@ class Workload {
   virtual void OnTransactionOutcome(ThreadState* state, const TxnOpResult& result,
                                     bool committed);
 
+  /// Hook called by the client thread between a failed attempt and its
+  /// retry, so out-of-band state is re-derived instead of double-applied
+  /// when `DoTransaction` runs again.  Default: treat the attempt as an
+  /// aborted outcome.
+  virtual void OnTransactionRetry(ThreadState* state, const TxnOpResult& result);
+
   /// Total records the load phase should insert (from `recordcount`).
   virtual uint64_t record_count() const = 0;
 

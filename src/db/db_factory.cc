@@ -34,6 +34,13 @@ std::shared_ptr<kv::Store> MakeRawHttp(const Properties& props) {
 
 }  // namespace
 
+void DBFactory::MaybeInjectFaults() {
+  kv::FaultOptions options = kv::FaultOptions::FromProperties(props_);
+  if (!options.Any()) return;
+  fault_store_ = std::make_shared<kv::FaultInjectingStore>(front_store_, options);
+  front_store_ = fault_store_;
+}
+
 Status DBFactory::BuildBase(const std::string& base_name) {
   if (base_name == "memkv") {
     front_store_ = MakeLocalEngine(props_);
@@ -75,6 +82,7 @@ Status DBFactory::Init() {
   if (name_.rfind("txn+", 0) == 0) {
     Status s = BuildBase(name_.substr(4));
     if (!s.ok()) return s;
+    MaybeInjectFaults();
 
     txn::TxnOptions options;
     std::string isolation = props_.Get("txn.isolation", "snapshot");
@@ -85,6 +93,7 @@ Status DBFactory::Init() {
     }
     options.lock_lease_us = props_.GetUint("txn.lease_us", options.lock_lease_us);
     options.cleanup_tsr = props_.GetBool("txn.cleanup_tsr", true);
+    options.crash_injector = fault_store_.get();  // null when faults are off
 
     std::shared_ptr<txn::TimestampSource> ts;
     std::string ts_kind = props_.Get("txn.timestamps", "hlc");
@@ -108,6 +117,7 @@ Status DBFactory::Init() {
 
   if (name_ == "2pl+memkv") {
     front_store_ = MakeLocalEngine(props_);
+    MaybeInjectFaults();
     txn::Local2PLOptions options;
     options.lock_timeout_us =
         props_.GetUint("2pl.lock_timeout_us", options.lock_timeout_us);
@@ -121,6 +131,7 @@ Status DBFactory::Init() {
     return s.IsInvalidArgument() ? Status::InvalidArgument("unknown db: " + name_)
                                  : s;
   }
+  MaybeInjectFaults();
   initialized_ = true;
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include "cloud/sim_cloud_store.h"
 #include "common/properties.h"
 #include "db/db.h"
+#include "kv/fault_injecting_store.h"
 #include "kv/instrumented_store.h"
 #include "txn/client_txn_store.h"
 #include "txn/local_2pl.h"
@@ -34,6 +35,12 @@ namespace ycsbt {
 /// `txn.isolation` (snapshot|serializable), `txn.lease_us`,
 /// `txn.timestamps` (hlc|oracle), `txn.oracle_rtt_us`, `txn.cleanup_tsr`,
 /// `2pl.lock_timeout_us`, `basicdb.delay_us`.
+///
+/// When any `fault.*` rate is non-zero (see `kv::FaultOptions`) the base
+/// store is wrapped in a `kv::FaultInjectingStore` — constructed *disarmed*;
+/// the benchmark driver arms it only around the measured run phase — and,
+/// for `txn+*` bindings, the same object is wired in as the transaction
+/// library's commit-pipeline `CrashInjector`.
 class DBFactory {
  public:
   explicit DBFactory(Properties props) : props_(std::move(props)) {}
@@ -52,13 +59,20 @@ class DBFactory {
   const std::shared_ptr<cloud::SimCloudStore>& cloud_store() const { return cloud_; }
   const std::shared_ptr<txn::TransactionalKV>& txn_kv() const { return txn_kv_; }
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
+  /// Non-null iff fault injection is configured; arm with `set_enabled`.
+  kv::FaultInjectingStore* fault_store() const { return fault_store_.get(); }
 
  private:
   Status BuildBase(const std::string& base_name);
 
+  /// Wraps `front_store_` in the fault-injection decorator when any
+  /// `fault.*` rate is configured.
+  void MaybeInjectFaults();
+
   Properties props_;
   std::string name_;
   std::shared_ptr<kv::Store> front_store_;
+  std::shared_ptr<kv::FaultInjectingStore> fault_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;
   txn::ClientTxnStore* client_txn_store_ = nullptr;  // owned via txn_kv_

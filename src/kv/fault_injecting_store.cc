@@ -1,0 +1,189 @@
+#include "kv/fault_injecting_store.h"
+
+#include <sstream>
+
+#include "common/latency_model.h"
+
+namespace ycsbt {
+namespace kv {
+
+namespace {
+
+/// splitmix64 finaliser: a high-quality 64->64 mix, so consecutive tickets
+/// give uncorrelated draws.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultOptions FaultOptions::FromProperties(const Properties& props) {
+  FaultOptions o;
+  o.seed = props.GetUint("fault.seed", o.seed);
+  o.error_rate = props.GetDouble("fault.error_rate", o.error_rate);
+  o.throttle_rate = props.GetDouble("fault.throttle_rate", o.throttle_rate);
+  o.throttle_burst =
+      static_cast<int>(props.GetInt("fault.throttle_burst", o.throttle_burst));
+  if (o.throttle_burst < 1) o.throttle_burst = 1;
+  o.latency_spike_rate =
+      props.GetDouble("fault.latency_spike_rate", o.latency_spike_rate);
+  o.latency_spike_us = props.GetUint("fault.latency_spike_us", o.latency_spike_us);
+  o.lost_reply_rate = props.GetDouble("fault.lost_reply_rate", o.lost_reply_rate);
+  o.crash_rate = props.GetDouble("fault.crash_rate", o.crash_rate);
+  std::string points = props.Get("fault.crash_points", "");
+  std::stringstream ss(points);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    // Trim surrounding spaces.
+    size_t b = token.find_first_not_of(" \t");
+    size_t e = token.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    o.crash_points |= ParseCrashPointToken(token.substr(b, e - b + 1));
+  }
+  return o;
+}
+
+FaultInjectingStore::FaultInjectingStore(std::shared_ptr<Store> base,
+                                         FaultOptions options)
+    : base_(std::move(base)), options_(options) {}
+
+FaultStats FaultInjectingStore::stats() const {
+  FaultStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.throttles = throttles_.load(std::memory_order_relaxed);
+  s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  s.lost_replies = lost_replies_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double FaultInjectingStore::Draw(uint64_t ticket, uint64_t salt) const {
+  uint64_t v = Mix64(options_.seed ^ Mix64(ticket ^ (salt * 0x9E3779B97F4A7C15ull)));
+  return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Status FaultInjectingStore::BeginRequest() {
+  if (!enabled()) return Status::OK();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.latency_spike_rate > 0.0 &&
+      Draw(ticket, /*salt=*/1) < options_.latency_spike_rate) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    SleepMicros(options_.latency_spike_us);
+  }
+
+  if (options_.throttle_rate > 0.0) {
+    // Drain an in-progress burst first: any request arriving during a burst
+    // is rejected regardless of its own draw.
+    int left = throttle_burst_left_.load(std::memory_order_relaxed);
+    while (left > 0 && !throttle_burst_left_.compare_exchange_weak(
+                           left, left - 1, std::memory_order_relaxed)) {
+    }
+    if (left > 0) {
+      throttles_.fetch_add(1, std::memory_order_relaxed);
+      return Status::RateLimited("injected: throttle burst");
+    }
+    if (Draw(ticket, /*salt=*/2) < options_.throttle_rate) {
+      throttle_burst_left_.store(options_.throttle_burst - 1,
+                                 std::memory_order_relaxed);
+      throttles_.fetch_add(1, std::memory_order_relaxed);
+      return Status::RateLimited("injected: throttled");
+    }
+  }
+
+  if (options_.error_rate > 0.0 &&
+      Draw(ticket, /*salt=*/3) < options_.error_rate) {
+    // Half the transient errors are Timeouts (retryable), half IOErrors
+    // (not retryable per Status::IsRetryable) — so a retry loop's giveup
+    // path is exercised alongside its success path.
+    if ((Mix64(options_.seed ^ ticket) & 1) != 0) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Timeout("injected: transient timeout");
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected: transient io error");
+  }
+  return Status::OK();
+}
+
+bool FaultInjectingStore::LoseReply() {
+  if (!enabled() || options_.lost_reply_rate <= 0.0) return false;
+  uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(ticket, /*salt=*/4) < options_.lost_reply_rate) {
+    lost_replies_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjectingStore::ShouldCrash(CrashPoint point) {
+  if (!enabled() || options_.crash_rate <= 0.0) return false;
+  if ((options_.crash_points & CrashPointBit(point)) == 0) return false;
+  uint64_t ticket = crash_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(ticket, /*salt=*/5) < options_.crash_rate) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectingStore::Get(const std::string& key, std::string* value,
+                                uint64_t* etag) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  return base_->Get(key, value, etag);
+}
+
+Status FaultInjectingStore::Put(const std::string& key, std::string_view value,
+                                uint64_t* etag_out) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  s = base_->Put(key, value, etag_out);
+  if (s.ok() && LoseReply()) return Status::Timeout("injected: reply lost");
+  return s;
+}
+
+Status FaultInjectingStore::ConditionalPut(const std::string& key,
+                                           std::string_view value,
+                                           uint64_t expected_etag,
+                                           uint64_t* etag_out) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  s = base_->ConditionalPut(key, value, expected_etag, etag_out);
+  if (s.ok() && LoseReply()) return Status::Timeout("injected: reply lost");
+  return s;
+}
+
+Status FaultInjectingStore::Delete(const std::string& key) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  s = base_->Delete(key);
+  if (s.ok() && LoseReply()) return Status::Timeout("injected: reply lost");
+  return s;
+}
+
+Status FaultInjectingStore::ConditionalDelete(const std::string& key,
+                                              uint64_t expected_etag) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  s = base_->ConditionalDelete(key, expected_etag);
+  if (s.ok() && LoseReply()) return Status::Timeout("injected: reply lost");
+  return s;
+}
+
+Status FaultInjectingStore::Scan(const std::string& start_key, size_t limit,
+                                 std::vector<ScanEntry>* out) {
+  Status s = BeginRequest();
+  if (!s.ok()) return s;
+  return base_->Scan(start_key, limit, out);
+}
+
+size_t FaultInjectingStore::Count() const { return base_->Count(); }
+
+}  // namespace kv
+}  // namespace ycsbt

@@ -1,5 +1,8 @@
 #include "kv/store.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 
@@ -44,10 +47,23 @@ Status ShardedStore::Open() {
   // 2. Replay WAL records newer than the checkpoint.  (After a crash between
   //    checkpoint rename and WAL truncation the log still holds records the
   //    snapshot already folded in; the watermark filters them out.)
+  size_t wal_valid_bytes = 0;
   Status s = WriteAheadLog::Replay(
       options_.wal_path,
-      [this](const WalRecord& r) { ApplyReplayed(r, checkpoint_etag_); });
+      [this](const WalRecord& r) { ApplyReplayed(r, checkpoint_etag_); },
+      &wal_valid_bytes);
   if (!s.ok()) return s;
+  // 3. Chop off any torn tail a crash left behind: new appends must follow
+  //    the last intact record, or the tear would sit mid-log (and read as
+  //    hard corruption) on the next replay.
+  struct ::stat st;
+  if (::stat(options_.wal_path.c_str(), &st) == 0 &&
+      static_cast<size_t>(st.st_size) > wal_valid_bytes) {
+    if (::truncate(options_.wal_path.c_str(),
+                   static_cast<off_t>(wal_valid_bytes)) != 0) {
+      return Status::IOError("WAL torn-tail truncation failed");
+    }
+  }
   s = wal_.Open(options_.wal_path);
   if (!s.ok()) return s;
   open_ = true;

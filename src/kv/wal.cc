@@ -85,7 +85,9 @@ Status WriteAheadLog::Append(const WalRecord& record, bool sync) {
 }
 
 Status WriteAheadLog::Replay(const std::string& path,
-                             const std::function<void(const WalRecord&)>& apply) {
+                             const std::function<void(const WalRecord&)>& apply,
+                             size_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::OK();  // no log yet: empty store
   std::vector<char> data;
@@ -126,6 +128,7 @@ Status WriteAheadLog::Replay(const std::string& path,
     record.value.assign(body + kHeaderAfterCrc + key_len, value_len);
     apply(record);
     pos += 4 + body_len;
+    if (valid_bytes != nullptr) *valid_bytes = pos;
   }
   return Status::OK();
 }

@@ -51,8 +51,12 @@ class WriteAheadLog {
 
   /// Replays all intact records in `path` in order.  A corrupt tail ends
   /// replay with OK; corruption *before* the end returns Corruption.
+  /// `valid_bytes` (optional) receives the offset just past the last intact
+  /// record — the owner must truncate the file there before appending again,
+  /// or the torn tail would sit mid-log on the next replay.
   static Status Replay(const std::string& path,
-                       const std::function<void(const WalRecord&)>& apply);
+                       const std::function<void(const WalRecord&)>& apply,
+                       size_t* valid_bytes = nullptr);
 
   /// Closes the file; further Appends fail.
   void Close();

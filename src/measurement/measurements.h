@@ -151,6 +151,11 @@ class Measurements {
   /// Records one completed operation into the shared series.
   void Record(OpId op, int64_t latency_us, Status::Code code);
 
+  /// Records `count` identical completions in one locked pass — how derived
+  /// counters (recovery roll-forwards, watchdog stalls) enter the series
+  /// pipeline as a batch after the fact.
+  void RecordMany(OpId op, int64_t latency_us, Status::Code code, uint64_t count);
+
   /// Records one latency sample for `op`.
   void Measure(OpId op, int64_t latency_us);
 

@@ -127,6 +127,12 @@ class ClientTxn : public Transaction {
       return s;
     }
 
+    if (Crash(CrashPoint::kAfterLockPuts)) {
+      // Simulated client death holding locks with no TSR: nothing is
+      // released, so recovery must roll this transaction back.
+      return CrashAbandonedUncommitted("after lock puts");
+    }
+
     if (store_->options_.isolation == Isolation::kSerializable) {
       s = ValidateReads();
       if (!s.ok()) {
@@ -147,22 +153,57 @@ class ClientTxn : public Transaction {
     std::string tsr_key = store_->TsrKey(id_);
     s = store_->base_->ConditionalPut(tsr_key, EncodeTsr(tsr), kv::kEtagAbsent);
     if (!s.ok()) {
-      // A blocked reader decided the race by planting an ABORTED status
-      // record for us: we may not commit.  Undo the locks and clean up the
-      // planted TSR (all our locks are cleared, so nobody needs it).
-      ReleaseLocks();
-      if (s.IsConflict() && store_->options_.cleanup_tsr) {
-        store_->base_->Delete(tsr_key);
+      bool committed_after_all = false;
+      if (!s.IsConflict()) {
+        // Ambiguous commit point: the reply was lost, so the TSR may or may
+        // not be in the store.  The TSR key is the atomic arbiter — re-read
+        // it until the outcome is known before touching any lock.
+        Status rs = SettleAmbiguousCommit(tsr_key, &committed_after_all);
+        if (!rs.ok()) return rs;  // abandoned as crashed; recovery settles it
+        store_->ambiguous_commits_.fetch_add(1, std::memory_order_relaxed);
       }
-      state_ = State::kAborted;
-      store_->aborts_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Aborted("commit denied: " + s.ToString());
+      if (!committed_after_all) {
+        // A blocked reader decided the race by planting an ABORTED status
+        // record for us (or the write genuinely never landed): we may not
+        // commit.  Undo the locks and clean up the planted TSR (all our
+        // locks are cleared, so nobody needs it).
+        ReleaseLocks();
+        if (store_->options_.cleanup_tsr) {
+          store_->base_->Delete(tsr_key);
+        }
+        state_ = State::kAborted;
+        store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Aborted("commit denied: " + s.ToString());
+      }
     }
 
-    RollForward(commit_ts);
+    if (Crash(CrashPoint::kAfterTsrPut)) {
+      // Died at the commit point: durably committed, nothing applied.
+      return CrashAbandonedCommitted(commit_ts, /*roll_first=*/0);
+    }
+    if (Crash(CrashPoint::kMidRollForward)) {
+      // Died half-way through applying: the partial-apply tear recovery
+      // must finish.
+      return CrashAbandonedCommitted(commit_ts, acquired_.size() / 2);
+    }
 
-    if (store_->options_.cleanup_tsr) {
-      store_->base_->Delete(tsr_key);  // best effort; recovery handles leftovers
+    bool all_applied = RollForward(commit_ts);
+
+    if (Crash(CrashPoint::kBeforeTsrDelete)) {
+      // Everything applied but the TSR lingers; readers tolerate (and
+      // eventually garbage-collect around) a committed TSR with no locks.
+      store_->injected_crashes_.fetch_add(1, std::memory_order_relaxed);
+      state_ = State::kCommitted;
+      store_->commits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    if (store_->options_.cleanup_tsr && all_applied) {
+      // Best effort; recovery handles leftovers.  Deleting while a failed
+      // roll-forward left a lock pending would be fatal, not cosmetic: the
+      // TSR is the only proof that pending write committed, and without it
+      // recovery would roll the committed write BACK.
+      store_->base_->Delete(tsr_key);
     }
     state_ = State::kCommitted;
     store_->commits_.fetch_add(1, std::memory_order_relaxed);
@@ -179,6 +220,11 @@ class ClientTxn : public Transaction {
 
  private:
   enum class State { kActive, kCommitted, kAborted };
+
+  bool Crash(CrashPoint point) {
+    CrashInjector* injector = store_->options_.crash_injector;
+    return injector != nullptr && injector->ShouldCrash(point);
+  }
 
   struct PendingWrite {
     std::string value;
@@ -350,7 +396,19 @@ class ClientTxn : public Transaction {
         acquired_.push_back(AcquiredLock{key, new_etag, std::move(locked)});
         return Status::OK();
       }
-      if (!s.IsConflict()) return s;
+      if (!s.IsConflict()) {
+        // Ambiguous failure (e.g. the reply was lost after the put applied):
+        // re-read the record and claim the lock if it is already ours.
+        TxRecord cur;
+        uint64_t cur_etag = kv::kEtagAbsent;
+        Status rl = store_->LoadRecord(key, &cur, &cur_etag);
+        if (rl.ok() && cur.Locked() && cur.lock_owner == id_) {
+          acquired_.push_back(AcquiredLock{key, cur_etag, std::move(cur)});
+          return Status::OK();
+        }
+        if (!rl.ok() && !rl.IsNotFound()) return s;
+        continue;  // the put never landed; retry from a fresh read
+      }
       // Someone interleaved between our read and CAS; loop and re-read.
     }
     store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
@@ -380,24 +438,92 @@ class ClientTxn : public Transaction {
     return Status::OK();
   }
 
-  void RollForward(uint64_t commit_ts) {
+  bool RollForwardOne(const AcquiredLock& lock, uint64_t commit_ts) {
+    Status s;
+    if (lock.record.pending_delete) {
+      s = store_->base_->ConditionalDelete(lock.key, lock.etag);
+    } else {
+      TxRecord rolled = lock.record;
+      rolled.RollForward(commit_ts);
+      s = store_->base_->ConditionalPut(lock.key, EncodeTxRecord(rolled),
+                                        lock.etag);
+    }
+    // A Conflict here means a reader recovered the lock for us after the
+    // TSR became visible — the record already carries the committed state.
+    if (!s.ok() && !s.IsConflict()) {
+      YCSBT_WARN("roll-forward of " << lock.key << " failed: " << s.ToString());
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns true only when every lock is known applied (or repaired by a
+  /// reader); on false some record still holds a pending write that only
+  /// the TSR can prove committed.
+  bool RollForward(uint64_t commit_ts) {
+    bool all_applied = true;
     for (auto& lock : acquired_) {
-      Status s;
-      if (lock.record.pending_delete) {
-        s = store_->base_->ConditionalDelete(lock.key, lock.etag);
-      } else {
-        TxRecord rolled = lock.record;
-        rolled.RollForward(commit_ts);
-        s = store_->base_->ConditionalPut(lock.key, EncodeTxRecord(rolled),
-                                          lock.etag);
-      }
-      // A Conflict here means a reader recovered the lock for us after the
-      // TSR became visible — the record already carries the committed state.
-      if (!s.ok() && !s.IsConflict()) {
-        YCSBT_WARN("roll-forward of " << lock.key << " failed: " << s.ToString());
-      }
+      all_applied = RollForwardOne(lock, commit_ts) && all_applied;
     }
     store_->ts_source_->Observe(commit_ts);
+    return all_applied;
+  }
+
+  /// The TSR write returned a non-conflict error: the record may or may not
+  /// have landed (reply lost after apply).  Re-reads the TSR — the single
+  /// atomic arbiter — until the outcome is known; OK means `*committed`
+  /// holds the settled verdict.  If the store stays unreachable the
+  /// transaction is abandoned exactly like a crash (locks and a possible
+  /// TSR left in place for recovery) and a non-retryable error returned:
+  /// retrying a transaction whose first incarnation might still commit
+  /// would apply its effects twice.
+  Status SettleAmbiguousCommit(const std::string& tsr_key, bool* committed) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string data;
+      Status g = store_->base_->Get(tsr_key, &data);
+      if (g.ok()) {
+        TsrRecord settled;
+        Status ds = DecodeTsr(data, &settled);
+        if (!ds.ok()) return ds;
+        *committed = settled.state == TsrRecord::State::kCommitted;
+        return Status::OK();
+      }
+      if (g.IsNotFound()) {
+        *committed = false;  // the write never landed
+        return Status::OK();
+      }
+      SleepMicros(100);
+    }
+    YCSBT_WARN("txn " << id_ << ": commit outcome unknown after TSR re-reads");
+    acquired_.clear();  // a dead client releases nothing
+    state_ = State::kAborted;
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("commit outcome unknown; transaction abandoned");
+  }
+
+  /// Simulated client death before the commit point: every acquired lock is
+  /// left in the store with no TSR, so recovery rolls the transaction back.
+  Status CrashAbandonedUncommitted(const char* where) {
+    store_->injected_crashes_.fetch_add(1, std::memory_order_relaxed);
+    acquired_.clear();  // a dead client releases nothing
+    state_ = State::kAborted;
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted(std::string("injected crash ") + where);
+  }
+
+  /// Simulated client death at/after the commit point: the TSR is durable,
+  /// so the transaction IS committed even though only the first `roll_first`
+  /// locks were applied; later readers repair the rest via the TSR.
+  Status CrashAbandonedCommitted(uint64_t commit_ts, size_t roll_first) {
+    store_->injected_crashes_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < roll_first && i < acquired_.size(); ++i) {
+      RollForwardOne(acquired_[i], commit_ts);
+    }
+    store_->ts_source_->Observe(commit_ts);
+    acquired_.clear();  // the rest stays locked until recovery finds it
+    state_ = State::kCommitted;
+    store_->commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
   }
 
   /// Abort path: undo every lock we planted (no TSR was written, so readers
@@ -589,6 +715,43 @@ Status ClientTxnStore::ReadCommitted(const std::string& key, std::string* value)
   return Status::OK();
 }
 
+Status ClientTxnStore::ResolveLockedForScan(const std::string& key,
+                                            TxRecord* record, uint64_t* etag) {
+  // A committed TSR makes the pending write live regardless of lease age.
+  std::string tsr_data;
+  Status ts = base_->Get(TsrKey(record->lock_owner), &tsr_data);
+  if (ts.ok()) {
+    TsrRecord tsr;
+    Status ds = DecodeTsr(tsr_data, &tsr);
+    if (!ds.ok()) return ds;
+    if (tsr.state != TsrRecord::State::kCommitted) {
+      return Status::OK();  // aborted: committed versions are authoritative
+    }
+    if (LeaseExpired(*record, options_.lock_lease_us)) {
+      // The owner died after its commit point: repair the record physically
+      // on its behalf, then serve from the repaired state.
+      Status rs = RecoverLock(key, record, etag);
+      if (rs.IsNotFound()) return rs;
+      if (!rs.ok() && !rs.IsBusy()) return rs;
+      return Status::OK();
+    }
+    // Owner alive and mid-roll-forward: apply its write to our view only.
+    if (record->pending_delete) return Status::NotFound(key);
+    record->RollForward(tsr.commit_ts);
+    return Status::OK();
+  }
+  if (!ts.IsNotFound()) return ts;
+  // TSR absent: a fresh lock's pending write is simply not committed yet; an
+  // expired one is repaired (rolled back, or forward if the owner's commit
+  // races in) before the record's versions are trusted.
+  if (LeaseExpired(*record, options_.lock_lease_us)) {
+    Status rs = RecoverLock(key, record, etag);
+    if (rs.IsNotFound()) return rs;
+    if (!rs.ok() && !rs.IsBusy()) return rs;
+  }
+  return Status::OK();
+}
+
 Status ClientTxnStore::ScanSnapshot(const std::string& start_key, size_t limit,
                                     uint64_t snapshot_ts,
                                     std::vector<TxScanEntry>* out) {
@@ -607,6 +770,12 @@ Status ClientTxnStore::ScanSnapshot(const std::string& start_key, size_t limit,
       TxRecord record;
       Status ds = DecodeTxRecord(entry.value, &record);
       if (!ds.ok()) return ds;
+      if (record.Locked()) {
+        uint64_t etag = entry.etag;
+        Status rs = ResolveLockedForScan(entry.key, &record, &etag);
+        if (rs.IsNotFound()) continue;  // committed outcome deleted the key
+        if (!rs.ok()) return rs;
+      }
       std::string value;
       if (VisibleVersion(record, snapshot_ts, &value, nullptr).ok()) {
         out->push_back(TxScanEntry{entry.key, std::move(value)});
@@ -637,6 +806,8 @@ TxnStats ClientTxnStore::stats() const {
   s.roll_backs = roll_backs_.load();
   s.validation_fails = validation_fails_.load();
   s.reader_aborts = reader_aborts_.load();
+  s.injected_crashes = injected_crashes_.load();
+  s.ambiguous_commits = ambiguous_commits_.load();
   return s;
 }
 

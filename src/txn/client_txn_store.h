@@ -86,6 +86,13 @@ class ClientTxnStore : public TransactionalKV {
   /// when the lock is fresh.
   Status RecoverLock(const std::string& key, TxRecord* record, uint64_t* etag);
 
+  /// Resolves a locked record met by a scan: committed-TSR locks are viewed
+  /// rolled forward (and physically recovered once the lease has expired),
+  /// aborted/undecided locks keep their committed versions.  NotFound means
+  /// the committed outcome deleted the record (skip it).
+  Status ResolveLockedForScan(const std::string& key, TxRecord* record,
+                              uint64_t* etag);
+
   std::string TsrKey(const std::string& txn_id) const {
     return options_.tsr_prefix + txn_id;
   }
@@ -108,6 +115,8 @@ class ClientTxnStore : public TransactionalKV {
   std::atomic<uint64_t> roll_backs_{0};
   std::atomic<uint64_t> validation_fails_{0};
   std::atomic<uint64_t> reader_aborts_{0};
+  std::atomic<uint64_t> injected_crashes_{0};
+  std::atomic<uint64_t> ambiguous_commits_{0};
 };
 
 }  // namespace txn

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "kv/store.h"
 
@@ -45,6 +46,14 @@ struct TxnOptions {
   /// debugging when false; recovery treats a surviving committed TSR
   /// correctly either way).
   bool cleanup_tsr = true;
+
+  /// When non-null, the commit pipeline consults this at each `CrashPoint`
+  /// and, if it fires, abandons the transaction with all store-side state
+  /// (locks, TSR) left in place — exactly what a client crash leaves behind
+  /// for `RecoverLock` roll-forward/roll-back to repair.  Borrowed pointer;
+  /// the owner (the DB factory's fault-injection layer) must outlive the
+  /// store.
+  CrashInjector* crash_injector = nullptr;
 };
 
 /// One result row of a transactional scan.
@@ -113,6 +122,8 @@ struct TxnStats {
   uint64_t roll_backs = 0;      ///< recovered another txn's abandoned locks
   uint64_t validation_fails = 0;///< serializable-mode read-set failures
   uint64_t reader_aborts = 0;   ///< undecided owners aborted by blocked readers
+  uint64_t injected_crashes = 0;///< commits abandoned by the fault injector
+  uint64_t ambiguous_commits = 0;///< TSR-write replies lost, settled by re-read
 };
 
 }  // namespace txn

@@ -107,6 +107,44 @@ TEST(SimCloudStoreTest, SaturationBeyondQueueBoundThrottles) {
   EXPECT_EQ(store.stats().throttled, static_cast<uint64_t>(rate_limited));
 }
 
+TEST(SimCloudStoreTest, PerOutcomeCountersPartitionRequests) {
+  CloudProfile p = FastProfile();
+  p.read_latency_median_us = 0.0;
+  p.write_latency_median_us = 0.0;
+  p.latency_floor_us = 0.0;
+  p.container_rate_limit = 200.0;
+  p.max_queue_delay_us = 2000.0;
+  SimCloudStore store(p);
+  store.Put("k", "v");
+  std::string value;
+  int rate_limited = 0;
+  for (int i = 0; i < 400; ++i) {
+    Status s = store.Get("k", &value);
+    if (!s.ok()) {
+      // The only rejection this store produces is the rate cap.
+      EXPECT_TRUE(s.IsRateLimited()) << s.ToString();
+      ++rate_limited;
+    }
+  }
+  CloudStats stats = store.stats();
+  EXPECT_EQ(stats.throttled, static_cast<uint64_t>(rate_limited));
+  EXPECT_GT(stats.ok, 0u);
+  // throttled / queue-delayed / ok partition the request stream exactly.
+  EXPECT_EQ(stats.throttled + stats.queue_delayed + stats.ok, stats.requests);
+}
+
+TEST(SimCloudStoreTest, UncappedStoreCountsEverythingOk) {
+  SimCloudStore store(FastProfile());  // container_rate_limit = 0: uncapped
+  store.Put("k", "v");
+  std::string value;
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(store.Get("k", &value).ok());
+  CloudStats stats = store.stats();
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_EQ(stats.ok, 10u);
+  EXPECT_EQ(stats.throttled, 0u);
+  EXPECT_EQ(stats.queue_delayed, 0u);
+}
+
 TEST(SimCloudStoreTest, ClientContentionGrowsWithInflight) {
   // With a large per-inflight serialized cost, many threads must take
   // disproportionately longer per op than one thread — the Fig 2 decline.

@@ -1,0 +1,124 @@
+#include "common/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace ycsbt {
+namespace {
+
+TEST(RetryPolicyTest, DefaultsAreRetriesOff) {
+  RetryPolicy p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_EQ(p.max_attempts, 1);
+}
+
+TEST(RetryPolicyTest, FromProperties) {
+  Properties props;
+  props.Set("retry.max_attempts", "5");
+  props.Set("retry.backoff_initial_us", "250");
+  props.Set("retry.backoff_max_us", "8000");
+  props.Set("retry.backoff_multiplier", "3.0");
+  props.Set("retry.jitter", "false");
+  props.Set("retry.deadline_us", "900000");
+  RetryPolicy p = RetryPolicy::FromProperties(props);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.max_attempts, 5);
+  EXPECT_EQ(p.initial_backoff_us, 250u);
+  EXPECT_EQ(p.max_backoff_us, 8000u);
+  EXPECT_DOUBLE_EQ(p.multiplier, 3.0);
+  EXPECT_FALSE(p.decorrelated_jitter);
+  EXPECT_EQ(p.deadline_us, 900000u);
+}
+
+TEST(RetryPolicyTest, FromPropertiesClampsNonsense) {
+  Properties props;
+  props.Set("retry.max_attempts", "-3");
+  props.Set("retry.backoff_initial_us", "1000");
+  props.Set("retry.backoff_max_us", "10");  // below initial
+  props.Set("retry.backoff_multiplier", "0.5");
+  RetryPolicy p = RetryPolicy::FromProperties(props);
+  EXPECT_EQ(p.max_attempts, 1);
+  EXPECT_EQ(p.max_backoff_us, 1000u);  // raised to initial
+  EXPECT_DOUBLE_EQ(p.multiplier, 1.0);
+}
+
+TEST(RetryStateTest, DeterministicLadderWithoutJitter) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 1000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  RetryState state(p);
+  Random64 rng(1);
+  EXPECT_EQ(state.NextBackoffUs(rng), 100u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 200u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 400u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 800u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 1000u);  // capped
+  EXPECT_EQ(state.NextBackoffUs(rng), 1000u);  // stays capped
+}
+
+TEST(RetryStateTest, JitterStaysWithinEnvelope) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 5000;
+  RetryState state(p);
+  Random64 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t sleep_us = state.NextBackoffUs(rng);
+    EXPECT_GE(sleep_us, p.initial_backoff_us);
+    EXPECT_LE(sleep_us, p.max_backoff_us);
+  }
+}
+
+TEST(RetryStateTest, JitterActuallyVaries) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 100000;
+  RetryState state(p);
+  Random64 rng(7);
+  uint64_t first = state.NextBackoffUs(rng);
+  bool varied = false;
+  for (int i = 0; i < 50 && !varied; ++i) {
+    varied = state.NextBackoffUs(rng) != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(RetryStateTest, ZeroInitialBackoffMeansNoSleep) {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff_us = 0;
+  RetryState state(p);
+  Random64 rng(3);
+  EXPECT_EQ(state.NextBackoffUs(rng), 0u);
+}
+
+TEST(RetryStateTest, ExhaustedByAttempts) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  RetryState state(p);
+  EXPECT_FALSE(state.Exhausted(1, 0));
+  EXPECT_FALSE(state.Exhausted(2, 0));
+  EXPECT_TRUE(state.Exhausted(3, 0));
+}
+
+TEST(RetryStateTest, ExhaustedByDeadline) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.deadline_us = 5000;
+  RetryState state(p);
+  EXPECT_FALSE(state.Exhausted(1, 4999));
+  EXPECT_TRUE(state.Exhausted(1, 5000));
+}
+
+TEST(RetryStateTest, DisabledPolicyExhaustsImmediately) {
+  RetryPolicy p;  // max_attempts = 1
+  RetryState state(p);
+  EXPECT_TRUE(state.Exhausted(1, 0));
+}
+
+}  // namespace
+}  // namespace ycsbt

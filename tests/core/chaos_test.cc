@@ -1,0 +1,196 @@
+// Chaos acceptance tests: the Closed Economy Workload under the seeded
+// fault-injection layer, with the transaction retry loop switched on.  These
+// are the end-to-end proofs of the robustness substrate — transient errors,
+// throttle bursts, lost replies and mid-commit crash points must all be
+// survivable without losing a cent of the economy, and the new abort/recovery
+// metrics must surface in both exporters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/benchmark.h"
+#include "db/db_factory.h"
+#include "kv/fault_injecting_store.h"
+#include "measurement/exporter.h"
+
+namespace ycsbt {
+namespace core {
+namespace {
+
+/// CEW over the client-coordinated txn store at test scale, with a short
+/// lock lease so abandoned locks become recoverable within the run.
+Properties ChaosBase() {
+  Properties p;
+  p.Set("db", "txn+memkv");
+  p.Set("workload", "closed_economy");
+  p.Set("seed", "42");
+  p.Set("recordcount", "100");
+  p.Set("totalcash", "100000");
+  p.Set("operationcount", "1200");
+  p.Set("requestdistribution", "zipfian");
+  p.Set("readproportion", "0.3");
+  p.Set("readmodifywriteproportion", "0.4");
+  p.Set("updateproportion", "0.1");
+  p.Set("deleteproportion", "0.1");
+  p.Set("insertproportion", "0.1");
+  p.Set("txn.lease_us", "5000");
+  return p;
+}
+
+void EnableRetries(Properties& p) {
+  p.Set("retry.max_attempts", "8");
+  p.Set("retry.backoff_initial_us", "50");
+  p.Set("retry.backoff_max_us", "2000");
+}
+
+void EnableAllFaults(Properties& p) {
+  p.Set("fault.seed", "777");
+  p.Set("fault.error_rate", "0.03");
+  p.Set("fault.throttle_rate", "0.01");
+  p.Set("fault.throttle_burst", "3");
+  p.Set("fault.latency_spike_rate", "0.01");
+  p.Set("fault.latency_spike_us", "200");
+  p.Set("fault.lost_reply_rate", "0.01");
+  p.Set("fault.crash_rate", "0.2");
+  p.Set("fault.crash_points", "all");
+}
+
+TEST(ChaosTest, FaultyRunWithRetriesKeepsTheEconomyConsistent) {
+  Properties p = ChaosBase();
+  p.Set("threads", "4");
+  EnableAllFaults(p);
+  EnableRetries(p);
+
+  DBFactory factory(p);
+  ASSERT_TRUE(factory.Init().ok());
+  ASSERT_NE(factory.fault_store(), nullptr)
+      << "fault.* rates must install the fault-injection decorator";
+
+  RunResult result;
+  std::string report;
+  ASSERT_TRUE(RunBenchmarkWithFactory(p, &factory, &result, &report).ok());
+
+  // The substrate actually fired: injected faults and commit-pipeline
+  // crashes happened during the measured window.
+  kv::FaultStats faults = factory.fault_store()->stats();
+  EXPECT_GT(faults.TotalInjected(), 0u);
+  EXPECT_GT(faults.crashes, 0u);
+  EXPECT_GT(result.injected_crashes, 0u);
+  EXPECT_GT(result.retries, 0u) << "retryable faults must drive the loop";
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_EQ(result.operations, result.committed + result.failed);
+
+  // ... and still: not a cent missing.
+  EXPECT_TRUE(result.validation.performed);
+  EXPECT_TRUE(result.validation.passed)
+      << "faults + retries must not corrupt the closed economy";
+  EXPECT_DOUBLE_EQ(result.validation.anomaly_score, 0.0);
+
+  // The new series reach the text exporter...
+  EXPECT_NE(report.find("[TX-RETRIES], "), std::string::npos) << report;
+  EXPECT_NE(report.find("[TX-GIVEUPS], "), std::string::npos);
+  EXPECT_NE(report.find("[INJECTED CRASHES], "), std::string::npos);
+  EXPECT_NE(report.find("[TX-RETRY], Operations, "), std::string::npos);
+
+  // ... and the JSON exporter.
+  std::string json = JsonExporter::Export(result.MakeSummary(), result.op_stats);
+  EXPECT_NE(json.find("\"TX-RETRIES\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"INJECTED CRASHES\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"TX-RETRY\""), std::string::npos);
+}
+
+TEST(ChaosTest, CrashedCommitsAreRolledForwardByLaterTransactions) {
+  // Every commit "crashes" right after the TSR write — the atomic commit
+  // point — abandoning all its locks.  With an instantly-expiring lease,
+  // later transactions touching those keys must repair them by rolling the
+  // pending writes forward (paper §III-C), and the run stays consistent.
+  Properties p = ChaosBase();
+  p.Set("threads", "1");
+  p.Set("operationcount", "300");
+  p.Set("recordcount", "50");
+  p.Set("totalcash", "50000");
+  p.Set("readproportion", "0");
+  p.Set("readmodifywriteproportion", "1.0");
+  p.Set("updateproportion", "0");
+  p.Set("deleteproportion", "0");
+  p.Set("insertproportion", "0");
+  p.Set("txn.lease_us", "1");
+  p.Set("fault.crash_rate", "1.0");
+  p.Set("fault.crash_points", "after_tsr_put");
+  EnableRetries(p);
+
+  RunResult result;
+  std::string report;
+  ASSERT_TRUE(RunBenchmark(p, &result, &report).ok());
+  EXPECT_GT(result.injected_crashes, 0u);
+  EXPECT_GT(result.roll_forwards, 0u)
+      << "abandoned committed transactions must be repaired under load";
+  EXPECT_TRUE(result.validation.passed);
+  EXPECT_DOUBLE_EQ(result.validation.anomaly_score, 0.0);
+  EXPECT_NE(report.find("[RECOVERY ROLLFORWARDS], "), std::string::npos);
+}
+
+TEST(ChaosTest, WithoutRetriesTheSameFaultsFailMoreTransactions) {
+  Properties base = ChaosBase();
+  base.Set("threads", "1");
+  base.Set("operationcount", "800");
+  EnableAllFaults(base);
+
+  Properties with_retries = base;
+  EnableRetries(with_retries);
+  RunResult retried;
+  ASSERT_TRUE(RunBenchmark(with_retries, &retried).ok());
+
+  RunResult unretried;  // base leaves retry.max_attempts at its default of 1
+  ASSERT_TRUE(RunBenchmark(base, &unretried).ok());
+
+  EXPECT_FALSE(unretried.retries_enabled);
+  EXPECT_EQ(unretried.retries, 0u);
+  EXPECT_GT(unretried.failed, retried.failed)
+      << "the retry loop must absorb transient faults the bare run eats";
+  // Both stay consistent: failed transactions refund, they don't corrupt.
+  EXPECT_TRUE(retried.validation.passed);
+  EXPECT_TRUE(unretried.validation.passed);
+}
+
+TEST(ChaosTest, FaultInjectionIsDeterministicUnderAFixedSeed) {
+  // Single-threaded, no crash points, and a zero lease (an abandoned lock is
+  // recoverable the instant it is seen, so repair never depends on the wall
+  // clock): the injected-fault schedule is a pure function of fault.seed,
+  // and two identical runs inject identical fault counts.
+  auto run_stats = [] {
+    Properties p = ChaosBase();
+    p.Set("threads", "1");
+    p.Set("operationcount", "600");
+    p.Set("txn.lease_us", "0");
+    p.Set("fault.seed", "31337");
+    p.Set("fault.error_rate", "0.05");
+    p.Set("fault.throttle_rate", "0.02");
+    p.Set("fault.latency_spike_rate", "0.02");
+    p.Set("fault.latency_spike_us", "50");
+    p.Set("fault.lost_reply_rate", "0.02");
+    EnableRetries(p);
+    DBFactory factory(p);
+    EXPECT_TRUE(factory.Init().ok());
+    RunResult result;
+    EXPECT_TRUE(RunBenchmarkWithFactory(p, &factory, &result).ok());
+    EXPECT_TRUE(result.validation.passed);
+    return factory.fault_store()->stats();
+  };
+
+  kv::FaultStats a = run_stats();
+  kv::FaultStats b = run_stats();
+  EXPECT_GT(a.TotalInjected(), 0u);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.throttles, b.throttles);
+  EXPECT_EQ(a.latency_spikes, b.latency_spikes);
+  EXPECT_EQ(a.lost_replies, b.lost_replies);
+  EXPECT_EQ(a.crashes, b.crashes);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ycsbt

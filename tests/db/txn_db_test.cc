@@ -128,6 +128,34 @@ TEST_F(TxnDBTest, CommitFailurePropagatesConflict) {
   EXPECT_EQ(result["f"], "mine");
 }
 
+TEST_F(TxnDBTest, HandleIsReusableAfterFailedCommit) {
+  // Regression: whatever Commit()/Abort() return, the binding must shed its
+  // transaction handle so the retry loop's next Start() gets a fresh one.
+  ASSERT_TRUE(db_->Insert("t", "k", {{"f", "base"}}).ok());
+  TxnDB other(store_);
+  ASSERT_TRUE(db_->Start().ok());
+  ASSERT_TRUE(other.Start().ok());
+  ASSERT_TRUE(db_->Update("t", "k", {{"f", "mine"}}).ok());
+  ASSERT_TRUE(other.Update("t", "k", {{"f", "theirs"}}).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  ASSERT_FALSE(other.Commit().ok());  // lost the race
+
+  // The loser must be able to start and commit a whole new transaction.
+  ASSERT_TRUE(other.Start().ok());
+  ASSERT_TRUE(other.Update("t", "k", {{"f", "retry"}}).ok());
+  ASSERT_TRUE(other.Commit().ok());
+  FieldMap result;
+  ASSERT_TRUE(db_->Read("t", "k", nullptr, &result).ok());
+  EXPECT_EQ(result["f"], "retry");
+
+  // Same guarantee after an explicit abort.
+  ASSERT_TRUE(other.Start().ok());
+  ASSERT_TRUE(other.Update("t", "k", {{"f", "junk"}}).ok());
+  ASSERT_TRUE(other.Abort().ok());
+  ASSERT_TRUE(other.Start().ok());
+  ASSERT_TRUE(other.Commit().ok());
+}
+
 TEST_F(TxnDBTest, WorksWithLocal2PLEngine) {
   auto base = std::make_shared<kv::ShardedStore>();
   auto engine = std::make_shared<txn::Local2PLStore>(base);

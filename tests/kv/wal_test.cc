@@ -92,6 +92,34 @@ TEST_F(WalTest, TornTailIsIgnored) {
   EXPECT_EQ(records[0].key, "a");
 }
 
+TEST_F(WalTest, CrcFlipInLastRecordIsTornTail) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "a", "1"}, false).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 2, "b", "2"}, false).ok());
+  ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 3, "c", "3"}, false).ok());
+  wal.Close();
+
+  // Flip a byte of the FINAL record's stored CRC: a crash that tore the last
+  // frame's checksum, not its length.  Each frame here is 4 (crc) + 17
+  // (header) + 1 (key) + 1 (value) = 23 bytes.
+  const long last_frame = 2 * 23;
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  char c;
+  f.seekg(last_frame);
+  f.get(c);
+  f.seekp(last_frame);
+  f.put(static_cast<char>(c ^ 0xFF));
+  f.close();
+
+  Status s;
+  auto records = ReplayAll(&s);
+  EXPECT_TRUE(s.ok()) << s.ToString();  // clean stop at the last good record
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+}
+
 TEST_F(WalTest, CorruptionInTheMiddleIsReported) {
   WriteAheadLog wal;
   ASSERT_TRUE(wal.Open(path_).ok());
