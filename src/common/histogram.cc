@@ -19,7 +19,8 @@ void Histogram::Reset() {
   min_ = std::numeric_limits<int64_t>::max();
   max_ = 0;
   sum_ = 0.0;
-  sum_squares_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
 }
 
 int Histogram::BucketIndex(uint64_t value) {
@@ -56,16 +57,26 @@ void Histogram::Add(int64_t value) {
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
   sum_ += static_cast<double>(value);
-  sum_squares_ += static_cast<double>(value) * static_cast<double>(value);
+  // Welford's online update: numerically stable second moment.
+  double delta = static_cast<double>(value) - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (static_cast<double>(value) - mean_);
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  // Chan's parallel variance combination: exact merge of the two centred
+  // second moments, stable even when the parts' means differ wildly.
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   sum_ += other.sum_;
-  sum_squares_ += other.sum_squares_;
 }
 
 int64_t Histogram::Min() const { return count_ == 0 ? 0 : min_; }
@@ -78,8 +89,7 @@ double Histogram::Mean() const {
 
 double Histogram::StdDev() const {
   if (count_ < 2) return 0.0;
-  double n = static_cast<double>(count_);
-  double var = (sum_squares_ - sum_ * sum_ / n) / (n - 1);
+  double var = m2_ / static_cast<double>(count_ - 1);
   return var <= 0.0 ? 0.0 : std::sqrt(var);
 }
 

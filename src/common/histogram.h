@@ -57,7 +57,14 @@ class Histogram {
   int64_t min_;
   int64_t max_;
   double sum_;
-  double sum_squares_;
+  // Running mean and centred second moment (Welford / Chan): StdDev from the
+  // naive sum-of-squares formula cancels catastrophically when the values are
+  // large relative to their spread (e.g. microsecond timestamps-ish samples
+  // around 1e8 with spread 1), producing zero or NaN.  M2 accumulates
+  // squared deviations directly, so the variance keeps full precision and
+  // two histograms merge exactly.
+  double mean_;
+  double m2_;
 };
 
 }  // namespace ycsbt

@@ -36,6 +36,14 @@ uint64_t TokenBucket::AcquireDelayNanos(double tokens) {
   Refill(SteadyNanos());
   available_ -= tokens;  // may go negative: debt expressed as wait time
   if (available_ >= 0.0) return 0;
+  // Bound the debt to one burst's worth.  A caller that falls behind (a
+  // stall, a long GC-like pause) otherwise accumulates unbounded negative
+  // balance and is then throttled far below the target rate for arbitrarily
+  // long while the bucket "repays" time that was never going to be used.
+  // Clamping forgives the excess, matching YCSB's throttler: one burst of
+  // catch-up at most, then steady state resumes — and no single call ever
+  // asks for more than burst/rate seconds of sleep.
+  available_ = std::max(available_, -burst_);
   return static_cast<uint64_t>(-available_ / rate_ * 1e9);
 }
 

@@ -49,6 +49,15 @@ RunSummary RunResult::MakeSummary() const {
   if (stall_events != 0) {
     summary.extra.emplace_back("WATCHDOG STALLS", std::to_string(stall_events));
   }
+  if (wal_appends != 0) {
+    summary.extra.emplace_back("WAL APPENDS", std::to_string(wal_appends));
+    summary.extra.emplace_back("WAL SYNCS", std::to_string(wal_syncs));
+    summary.extra.emplace_back("WAL GROUP BATCHES", std::to_string(wal_batches));
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.2f", wal_avg_batch);
+    summary.extra.emplace_back("WAL AVG BATCH", avg);
+    summary.extra.emplace_back("WAL MAX BATCH", std::to_string(wal_max_batch));
+  }
   summary.intervals = intervals;
   return summary;
 }
@@ -311,6 +320,12 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   txn::ClientTxnStore* txn_store = factory_->client_txn_store();
   if (txn_store != nullptr) txn_before = txn_store->stats();
 
+  // Discard WAL durability counters the load phase accumulated, so the
+  // post-run drain reports this run window only.
+  kv::ShardedStore* engine = factory_->local_engine();
+  bool track_wal = engine != nullptr && engine->wal_enabled();
+  if (track_wal) engine->DrainWalStats();
+
   Stopwatch run_watch;
   start_gate.CountDown();
 
@@ -435,6 +450,22 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                               Status::Code::kOk, result->roll_forwards);
     measurements_->RecordMany(measurements_->RegisterOp("TXN-RECOVERY-BACK"), 0,
                               Status::Code::kOk, result->roll_backs);
+  }
+
+  if (track_wal) {
+    // Fold the WAL's run-window durability stats into the shared series so
+    // both exporters render WAL-SYNC (fdatasync latency) and WAL-BATCH
+    // (records per write batch) with full percentile lines.
+    kv::WalStats wal = engine->DrainWalStats();
+    result->wal_appends = wal.appends;
+    result->wal_syncs = wal.syncs;
+    result->wal_batches = wal.batches;
+    result->wal_avg_batch = wal.batch_records.Mean();
+    result->wal_max_batch = wal.batch_records.Max();
+    measurements_->MergeHistogram(measurements_->RegisterOp("WAL-SYNC"),
+                                  wal.sync_latency_us, Status::Code::kOk);
+    measurements_->MergeHistogram(measurements_->RegisterOp("WAL-BATCH"),
+                                  wal.batch_records, Status::Code::kOk);
   }
 
   result->op_stats = measurements_->Snapshot();

@@ -83,6 +83,14 @@ struct RunResult {
 
   uint64_t stall_events = 0;  ///< watchdog stall flags raised
 
+  // WAL durability accounting for the run window (all zero unless the
+  // binding runs on the local engine with a WAL configured).
+  uint64_t wal_appends = 0;     ///< WAL records acknowledged during the run
+  uint64_t wal_syncs = 0;       ///< fdatasync calls issued during the run
+  uint64_t wal_batches = 0;     ///< write batches (== appends without group commit)
+  double wal_avg_batch = 0.0;   ///< mean records per batch
+  int64_t wal_max_batch = 0;    ///< largest batch observed
+
   ValidationResult validation;
   std::vector<OpStats> op_stats;
   /// Per-window progress trajectory (empty unless the run had a status

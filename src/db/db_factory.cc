@@ -7,32 +7,34 @@
 
 namespace ycsbt {
 
-namespace {
-
-std::shared_ptr<kv::Store> MakeLocalEngine(const Properties& props) {
+std::shared_ptr<kv::Store> DBFactory::MakeLocalEngine() {
   kv::StoreOptions options;
-  options.num_shards = static_cast<int>(props.GetInt("memkv.shards", 16));
-  options.wal_path = props.Get("memkv.wal_path", "");
-  options.sync_wal = props.GetBool("memkv.sync_wal", false);
+  options.num_shards = static_cast<int>(props_.GetInt("memkv.shards", 16));
+  options.wal_path = props_.Get("memkv.wal_path", "");
+  options.sync_wal = props_.GetBool("memkv.sync_wal", false);
+  options.wal_group_commit = props_.GetBool("memkv.wal_group_commit", false);
+  options.wal_group_max_batch =
+      static_cast<int>(props_.GetInt("memkv.wal_group_max_batch", 64));
+  options.wal_group_window_us =
+      static_cast<uint32_t>(props_.GetInt("memkv.wal_group_window_us", 0));
   auto store = std::make_shared<kv::ShardedStore>(options);
   store->Open();  // no-op for volatile stores
+  local_engine_ = store;
   return store;
 }
 
-std::shared_ptr<kv::Store> MakeRawHttp(const Properties& props) {
+std::shared_ptr<kv::Store> DBFactory::MakeRawHttp() {
   // The paper's WiredTiger-behind-Boost-ASIO server, modelled as the local
   // engine plus the loopback HTTP round trip observed in Listing 3
   // (min ~1.2 ms, mean ~1.5 ms, heavy tail).
-  auto inner = MakeLocalEngine(props);
+  auto inner = MakeLocalEngine();
   auto instrumented = std::make_shared<kv::InstrumentedStore>(inner);
-  double median = props.GetDouble("rawhttp.latency_median_us", 1450.0);
-  double sigma = props.GetDouble("rawhttp.latency_sigma", 0.35);
-  double floor = props.GetDouble("rawhttp.latency_floor_us", 1150.0);
+  double median = props_.GetDouble("rawhttp.latency_median_us", 1450.0);
+  double sigma = props_.GetDouble("rawhttp.latency_sigma", 0.35);
+  double floor = props_.GetDouble("rawhttp.latency_floor_us", 1150.0);
   instrumented->set_latency_model(LatencyModel(median, sigma, floor));
   return instrumented;
 }
-
-}  // namespace
 
 void DBFactory::MaybeInjectFaults() {
   kv::FaultOptions options = kv::FaultOptions::FromProperties(props_);
@@ -43,11 +45,11 @@ void DBFactory::MaybeInjectFaults() {
 
 Status DBFactory::BuildBase(const std::string& base_name) {
   if (base_name == "memkv") {
-    front_store_ = MakeLocalEngine(props_);
+    front_store_ = MakeLocalEngine();
     return Status::OK();
   }
   if (base_name == "rawhttp") {
-    front_store_ = MakeRawHttp(props_);
+    front_store_ = MakeRawHttp();
     return Status::OK();
   }
   if (base_name == "was" || base_name == "gcs") {
@@ -60,7 +62,7 @@ Status DBFactory::BuildBase(const std::string& base_name) {
         static_cast<int>(props_.GetInt("cloud.containers", profile.containers));
     double serial = props_.GetDouble("cloud.client_serial_us", -1.0);
     if (serial >= 0.0) profile.client_serial_us_per_inflight = serial;
-    cloud_ = std::make_shared<cloud::SimCloudStore>(profile, MakeLocalEngine(props_));
+    cloud_ = std::make_shared<cloud::SimCloudStore>(profile, MakeLocalEngine());
     double scale = props_.GetDouble("cloud.latency_scale", 1.0);
     if (scale != 1.0) cloud_->ScaleLatency(scale);
     front_store_ = cloud_;
@@ -116,7 +118,7 @@ Status DBFactory::Init() {
   }
 
   if (name_ == "2pl+memkv") {
-    front_store_ = MakeLocalEngine(props_);
+    front_store_ = MakeLocalEngine();
     MaybeInjectFaults();
     txn::Local2PLOptions options;
     options.lock_timeout_us =

@@ -30,7 +30,8 @@ namespace ycsbt {
 /// | `2pl+memkv`   | TxnDB | embedded strict-2PL engine |
 ///
 /// Other properties consumed here: `memkv.shards`, `memkv.wal_path`,
-/// `memkv.sync_wal`, `rawhttp.latency_median_us`, `rawhttp.latency_sigma`,
+/// `memkv.sync_wal`, `memkv.wal_group_commit`, `memkv.wal_group_max_batch`,
+/// `memkv.wal_group_window_us`, `rawhttp.latency_median_us`, `rawhttp.latency_sigma`,
 /// `rawhttp.latency_floor_us`, `cloud.latency_scale`, `cloud.rate_limit`,
 /// `txn.isolation` (snapshot|serializable), `txn.lease_us`,
 /// `txn.timestamps` (hlc|oracle), `txn.oracle_rtt_us`, `txn.cleanup_tsr`,
@@ -61,9 +62,19 @@ class DBFactory {
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
   /// Non-null iff fault injection is configured; arm with `set_enabled`.
   kv::FaultInjectingStore* fault_store() const { return fault_store_.get(); }
+  /// Non-null iff the binding runs on the local engine (directly or below
+  /// decorators) — used to drain WAL durability stats into the measurements.
+  kv::ShardedStore* local_engine() const { return local_engine_.get(); }
 
  private:
   Status BuildBase(const std::string& base_name);
+
+  /// Builds the local `kv::ShardedStore` engine from `memkv.*` properties
+  /// and remembers it in `local_engine_`.
+  std::shared_ptr<kv::Store> MakeLocalEngine();
+
+  /// Local engine wrapped in the simulated loopback-HTTP latency decorator.
+  std::shared_ptr<kv::Store> MakeRawHttp();
 
   /// Wraps `front_store_` in the fault-injection decorator when any
   /// `fault.*` rate is configured.
@@ -72,6 +83,7 @@ class DBFactory {
   Properties props_;
   std::string name_;
   std::shared_ptr<kv::Store> front_store_;
+  std::shared_ptr<kv::ShardedStore> local_engine_;
   std::shared_ptr<kv::FaultInjectingStore> fault_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;

@@ -64,10 +64,18 @@ Status ShardedStore::Open() {
       return Status::IOError("WAL torn-tail truncation failed");
     }
   }
-  s = wal_.Open(options_.wal_path);
+  s = wal_.Open(options_.wal_path, MakeWalOptions());
   if (!s.ok()) return s;
   open_ = true;
   return Status::OK();
+}
+
+kv::WalOptions ShardedStore::MakeWalOptions() const {
+  WalOptions wal;
+  wal.group_commit = options_.wal_group_commit;
+  wal.group_max_batch = options_.wal_group_max_batch;
+  wal.group_window_us = options_.wal_group_window_us;
+  return wal;
 }
 
 void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag) {
@@ -103,7 +111,7 @@ Status ShardedStore::Checkpoint() {
   {
     WriteAheadLog snapshot;
     std::remove(tmp.c_str());
-    Status s = snapshot.Open(tmp);
+    Status s = snapshot.Open(tmp, MakeWalOptions());
     if (!s.ok()) return s;
     for (auto& shard : shards_) {
       SkipList<Entry>::Iterator it(&shard->map);
@@ -134,7 +142,7 @@ Status ShardedStore::Checkpoint() {
   std::FILE* trunc = std::fopen(options_.wal_path.c_str(), "wb");
   if (trunc == nullptr) return Status::IOError("WAL truncate failed");
   std::fclose(trunc);
-  return wal_.Open(options_.wal_path);
+  return wal_.Open(options_.wal_path, MakeWalOptions());
 }
 
 ShardedStore::Shard& ShardedStore::ShardFor(const std::string& key) {

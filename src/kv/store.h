@@ -35,6 +35,15 @@ struct StoreOptions {
   std::string wal_path;
   /// fdatasync every WAL append (durability vs latency, paper §II-A).
   bool sync_wal = false;
+  /// Leader/follower group commit on the WAL: commits batch their frames
+  /// into one fwrite + fdatasync instead of serialising a sync per record
+  /// (see `WalOptions::group_commit`).
+  bool wal_group_commit = false;
+  /// Largest number of frames one group-commit leader writes per batch.
+  int wal_group_max_batch = 64;
+  /// Accumulation window for syncing group-commit leaders, microseconds
+  /// (0 = natural batching only; see `WalOptions::group_window_us`).
+  uint32_t wal_group_window_us = 0;
   /// When non-empty, `Checkpoint()` writes full-state snapshots here and
   /// `Open()` loads the snapshot before replaying the WAL.
   std::string checkpoint_path;
@@ -121,6 +130,14 @@ class ShardedStore : public Store {
 
   const StoreOptions& options() const { return options_; }
 
+  /// True when mutations are being logged (a WAL path is configured).
+  bool wal_enabled() const { return !options_.wal_path.empty(); }
+
+  /// Snapshot-and-reset of the WAL's durability counters (sync latency,
+  /// batch sizes) accumulated since the last drain — the source of the
+  /// measurement layer's `WAL-SYNC` / `WAL-BATCH` series.
+  WalStats DrainWalStats() { return wal_.DrainStats(); }
+
  private:
   struct Entry {
     std::string value;
@@ -133,6 +150,8 @@ class ShardedStore : public Store {
   };
 
   Shard& ShardFor(const std::string& key);
+  /// WAL commit-path configuration derived from the store options.
+  WalOptions MakeWalOptions() const;
   uint64_t NextEtag() { return etag_source_.fetch_add(1, std::memory_order_relaxed) + 1; }
   Status LogMutation(WalRecord::Kind kind, const std::string& key,
                      std::string_view value, uint64_t etag);

@@ -1,10 +1,14 @@
 #include "kv/wal.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "kv/crc32.h"
 
 namespace ycsbt {
@@ -39,7 +43,7 @@ uint64_t GetU64(const char* p) {
 // kind(1) + etag(8) + key_len(4) + value_len(4)
 constexpr size_t kHeaderAfterCrc = 1 + 8 + 4 + 4;
 
-std::string EncodeBody(const WalRecord& record) {
+std::string EncodeFrame(const WalRecord& record) {
   std::string body;
   body.reserve(kHeaderAfterCrc + record.key.size() + record.value.size());
   body.push_back(static_cast<char>(record.kind));
@@ -48,40 +52,226 @@ std::string EncodeBody(const WalRecord& record) {
   PutU32(&body, static_cast<uint32_t>(record.value.size()));
   body.append(record.key);
   body.append(record.value);
-  return body;
+
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutU32(&frame, MaskCrc(Crc32c(body)));
+  frame.append(body);
+  return frame;
 }
 
 }  // namespace
 
 WriteAheadLog::~WriteAheadLog() { Close(); }
 
-Status WriteAheadLog::Open(const std::string& path) {
+Status WriteAheadLog::Open(const std::string& path, WalOptions options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) return Status::InvalidArgument("WAL already open");
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) return Status::IOError("cannot open WAL: " + path);
   path_ = path;
+  options_ = options;
+  if (options_.group_max_batch < 1) options_.group_max_batch = 1;
+  struct ::stat st;
+  intact_bytes_ =
+      ::fstat(::fileno(file_), &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+  next_lsn_ = 0;
+  durable_lsn_ = 0;
+  leader_active_ = false;
+  pending_.clear();
+  poisoned_ = false;
+  poison_status_ = Status::OK();
   return Status::OK();
 }
 
-Status WriteAheadLog::Append(const WalRecord& record, bool sync) {
-  std::string body = EncodeBody(record);
-  uint32_t crc = MaskCrc(Crc32c(body));
-  std::string frame;
-  frame.reserve(4 + body.size());
-  PutU32(&frame, crc);
-  frame.append(body);
-
+bool WriteAheadLog::IsPoisoned() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+uint64_t WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+WalStats WriteAheadLog::DrainStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats out = std::move(stats_);
+  stats_ = WalStats{};
+  return out;
+}
+
+void WriteAheadLog::SimulateTornWriteForTesting(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_writes_left_ += count;
+}
+
+size_t WriteAheadLog::WriteBytes(const char* data, size_t size, bool tear) {
+  if (tear) {
+    // Half the frame lands, then the device "fails": the torn-frame shape a
+    // real short write leaves behind.
+    size_t half = size / 2;
+    if (half != 0) std::fwrite(data, 1, half, file_);
+    return half;
+  }
+  return std::fwrite(data, 1, size, file_);
+}
+
+void WriteAheadLog::PoisonLocked(const std::string& why) {
+  poisoned_ = true;
+  std::string detail = "WAL fail-stop: " + why;
+  if (file_ != nullptr) {
+    // Push any buffered partial frame to the OS, then cut the file back to
+    // the last intact offset so the tear never becomes mid-log corruption.
+    std::fflush(file_);
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(intact_bytes_)) != 0) {
+      detail += " (truncation to last intact offset also failed)";
+    }
+  }
+  poison_status_ = Status::IOError(detail);
+}
+
+Status WriteAheadLog::Append(const WalRecord& record, bool sync,
+                             uint64_t* lsn_out) {
+  // Encode and checksum outside the lock: the serial section of a commit is
+  // the write itself, never the CPU work.
+  std::string frame = EncodeFrame(record);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) return poison_status_;
   if (file_ == nullptr) return Status::IOError("WAL not open");
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::IOError("WAL short write");
+  uint64_t lsn = ++next_lsn_;
+  if (lsn_out != nullptr) *lsn_out = lsn;
+  return options_.group_commit ? AppendGrouped(std::move(frame), sync, lsn, lock)
+                               : AppendDirect(std::move(frame), sync, lsn, lock);
+}
+
+Status WriteAheadLog::AppendDirect(std::string frame, bool sync, uint64_t lsn,
+                                   std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held throughout: the seed's one-writer-at-a-time discipline
+  bool tear = torn_writes_left_ > 0;
+  if (tear) --torn_writes_left_;
+  if (WriteBytes(frame.data(), frame.size(), tear) != frame.size()) {
+    PoisonLocked("short write");
+    return poison_status_;
   }
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  if (sync && ::fdatasync(::fileno(file_)) != 0) {
-    return Status::IOError("WAL fdatasync failed");
+  if (std::fflush(file_) != 0) {
+    PoisonLocked("flush failed");
+    return poison_status_;
   }
+  if (sync) {
+    Stopwatch sync_watch;
+    if (::fdatasync(::fileno(file_)) != 0) {
+      PoisonLocked("fdatasync failed");
+      return poison_status_;
+    }
+    ++stats_.syncs;
+    stats_.sync_latency_us.Add(static_cast<int64_t>(sync_watch.ElapsedMicros()));
+  }
+  intact_bytes_ += frame.size();
+  durable_lsn_ = lsn;
+  ++stats_.appends;
+  ++stats_.batches;
+  stats_.batch_records.Add(1);
   return Status::OK();
+}
+
+Status WriteAheadLog::AppendGrouped(std::string frame, bool sync, uint64_t lsn,
+                                    std::unique_lock<std::mutex>& lock) {
+  pending_.push_back(PendingFrame{std::move(frame), lsn, sync});
+  // A leader inside its accumulation window wakes and sees the new frame.
+  cv_.notify_all();
+
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return durable_lsn_ >= lsn || !leader_active_ || poisoned_;
+    });
+    if (durable_lsn_ >= lsn) return Status::OK();
+    if (poisoned_) return poison_status_;
+    if (file_ == nullptr) return Status::IOError("WAL closed during append");
+    // No leader: this writer leads a batch, then re-checks — a batch capped
+    // at group_max_batch may not have reached this writer's own frame yet.
+    Status s = LeadBatch(sync, lock);
+    if (!s.ok()) return s;
+    if (durable_lsn_ >= lsn) return Status::OK();
+  }
+}
+
+Status WriteAheadLog::LeadBatch(bool sync, std::unique_lock<std::mutex>& lock) {
+  leader_active_ = true;
+  size_t max_batch = static_cast<size_t>(options_.group_max_batch);
+  if (sync && options_.group_window_us > 0 && pending_.size() < max_batch) {
+    // Optional accumulation window: trade this commit's latency for a larger
+    // batch.  Enqueuing writers notify, so a filling batch exits early.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(options_.group_window_us);
+    while (pending_.size() < max_batch &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+  }
+
+  std::vector<PendingFrame> batch;
+  if (pending_.size() <= max_batch) {
+    batch.swap(pending_);
+  } else {
+    batch.assign(std::make_move_iterator(pending_.begin()),
+                 std::make_move_iterator(pending_.begin() +
+                                         static_cast<ptrdiff_t>(max_batch)));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(max_batch));
+  }
+  bool want_sync = false;
+  size_t batch_bytes = 0;
+  for (const PendingFrame& f : batch) {
+    want_sync |= f.sync;
+    batch_bytes += f.frame.size();
+  }
+  bool tear = torn_writes_left_ > 0;
+  if (tear) --torn_writes_left_;
+
+  // One contiguous buffer, one write, one flush, one sync — the whole point.
+  // The lock is released for the I/O so the *next* batch accumulates while
+  // this one is inside fdatasync.
+  std::string buffer;
+  buffer.reserve(batch_bytes);
+  for (const PendingFrame& f : batch) buffer.append(f.frame);
+
+  lock.unlock();
+  bool io_ok = WriteBytes(buffer.data(), buffer.size(), tear) == buffer.size() &&
+               std::fflush(file_) == 0;
+  uint64_t sync_us = 0;
+  bool synced = false;
+  if (io_ok && want_sync) {
+    Stopwatch sync_watch;
+    synced = ::fdatasync(::fileno(file_)) == 0;
+    sync_us = sync_watch.ElapsedMicros();
+    io_ok = synced;
+  }
+  lock.lock();
+
+  Status result;
+  if (!io_ok) {
+    // None of the batch is acknowledged; every waiter (and every later
+    // appender) gets the poison status, and the tear is cut back to the
+    // pre-batch offset.
+    PoisonLocked(want_sync && !synced ? "fdatasync failed on batch"
+                                      : "short write in batch");
+    result = poison_status_;
+  } else {
+    intact_bytes_ += buffer.size();
+    durable_lsn_ = batch.back().lsn;
+    stats_.appends += batch.size();
+    ++stats_.batches;
+    stats_.batch_records.Add(static_cast<int64_t>(batch.size()));
+    if (want_sync) {
+      ++stats_.syncs;
+      stats_.sync_latency_us.Add(static_cast<int64_t>(sync_us));
+    }
+    result = Status::OK();
+  }
+  leader_active_ = false;
+  cv_.notify_all();
+  return result;
 }
 
 Status WriteAheadLog::Replay(const std::string& path,
@@ -134,11 +324,15 @@ Status WriteAheadLog::Replay(const std::string& path,
 }
 
 void WriteAheadLog::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Let an in-flight leader finish its batch; it writes with the lock
+  // released, so closing underneath it would hand fclose a live stream.
+  cv_.wait(lock, [&] { return !leader_active_; });
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
   }
+  cv_.notify_all();
 }
 
 }  // namespace kv

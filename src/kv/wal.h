@@ -1,12 +1,15 @@
 #ifndef YCSBT_KV_WAL_H_
 #define YCSBT_KV_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/histogram.h"
 #include "common/status.h"
 
 namespace ycsbt {
@@ -22,7 +25,36 @@ struct WalRecord {
   std::string value;  // empty for deletes
 };
 
-/// Append-only write-ahead log with per-record CRC-32C.
+/// Commit-path configuration of a `WriteAheadLog`.
+struct WalOptions {
+  /// Leader/follower group commit: appenders enqueue encoded frames and one
+  /// leader writes + syncs the whole batch with a single fwrite/fdatasync,
+  /// then wakes every follower whose LSN the durable watermark now covers.
+  /// Off = the seed behaviour (each append writes under the lock).
+  bool group_commit = false;
+  /// Largest number of frames one leader drains in a single batch.
+  int group_max_batch = 64;
+  /// Extra time a *syncing* leader waits for more frames to accumulate
+  /// before writing, in microseconds.  0 (the default) is pure natural
+  /// batching: the leader takes whatever queued while the previous leader
+  /// was syncing — batch size then tracks writer concurrency with no added
+  /// latency.  Non-zero trades commit latency for larger batches on media
+  /// where fdatasync dwarfs the window.
+  uint32_t group_window_us = 0;
+};
+
+/// Durability counters of one `WriteAheadLog`, drained (snapshot + reset) by
+/// the measurement layer so each benchmark run reports its own window.
+struct WalStats {
+  uint64_t appends = 0;  ///< records acknowledged (written + flushed)
+  uint64_t syncs = 0;    ///< fdatasync calls issued
+  uint64_t batches = 0;  ///< write batches (== appends when group commit is off)
+  Histogram sync_latency_us;  ///< per-fdatasync duration, microseconds
+  Histogram batch_records;    ///< records per write batch
+};
+
+/// Append-only write-ahead log with per-record CRC-32C and optional
+/// leader/follower group commit.
 ///
 /// Record wire format (little-endian):
 ///   u32 masked_crc  — CRC-32C of everything after this field
@@ -31,10 +63,29 @@ struct WalRecord {
 ///   u32 key_len, u32 value_len
 ///   key bytes, value bytes
 ///
+/// Group-commit protocol (`WalOptions::group_commit`): every appender encodes
+/// and CRCs its frame *outside* the lock, enqueues it under the lock with a
+/// monotonically increasing LSN, and blocks.  The first waiter that finds no
+/// active leader becomes the leader: it drains the queue (after an optional
+/// accumulation window), issues one fwrite + fflush (+ one fdatasync when any
+/// batch member asked to sync) for the whole batch with the lock released,
+/// publishes the durable-LSN watermark, steps down and wakes everyone.
+/// Followers whose LSN the watermark covers return; one of the rest takes
+/// over as the next leader (leader handoff).  Batches therefore form
+/// naturally while the previous leader is inside fdatasync.
+///
+/// Failure contract (fail-stop): a short write, flush failure or fdatasync
+/// failure *poisons* the log — the torn frame is truncated back to the last
+/// intact offset where possible, every in-flight and subsequent append fails
+/// with the poison status, and nothing after the failure point is ever
+/// acknowledged.  A torn frame can then only ever be a *tail*, which `Replay`
+/// (and `ShardedStore::Open`'s truncation) already handles; it can never be
+/// buried mid-log by later appends.
+///
 /// Replay stops cleanly at the first torn or corrupt record (the tail that a
 /// crash may leave behind), matching the recovery contract of LevelDB-style
-/// logs.  `Sync()` maps to fdatasync when `StoreOptions::sync_wal` is set;
-/// the paper's latency-vs-durability trade-off (§II-A) is exactly this knob.
+/// logs.  `sync` maps to fdatasync when `StoreOptions::sync_wal` is set; the
+/// paper's latency-vs-durability trade-off (§II-A) is exactly this knob.
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
@@ -44,10 +95,14 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   /// Opens (creating if needed) the log at `path` for appending.
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, WalOptions options = {});
 
-  /// Appends one record; thread-safe.
-  Status Append(const WalRecord& record, bool sync);
+  /// Appends one record; thread-safe.  Returns once the record is written
+  /// and flushed (and fdatasync'd when `sync`), or with the poison status if
+  /// the log has fail-stopped.  `lsn_out` (optional) receives the record's
+  /// log sequence number; an append that returned OK is covered by
+  /// `durable_lsn()` forever after.
+  Status Append(const WalRecord& record, bool sync, uint64_t* lsn_out = nullptr);
 
   /// Replays all intact records in `path` in order.  A corrupt tail ends
   /// replay with OK; corruption *before* the end returns Corruption.
@@ -58,15 +113,75 @@ class WriteAheadLog {
                        const std::function<void(const WalRecord&)>& apply,
                        size_t* valid_bytes = nullptr);
 
-  /// Closes the file; further Appends fail.
+  /// Closes the file; further Appends fail.  Waits for an in-flight leader
+  /// batch to finish.  Callers must not close while appends are in flight.
   void Close();
 
   bool IsOpen() const { return file_ != nullptr; }
 
+  /// True once a write failure has fail-stopped the log.
+  bool IsPoisoned() const;
+
+  /// Highest LSN acknowledged as written (and synced, when requested).
+  uint64_t durable_lsn() const;
+
+  /// Snapshot-and-reset of the durability counters accumulated since the
+  /// last drain (or Open).
+  WalStats DrainStats();
+
+  /// Test hook: the next `count` write attempts tear mid-frame (half the
+  /// bytes land, then a short write is reported), exercising the fail-stop
+  /// and truncation paths without a real failing device.
+  void SimulateTornWriteForTesting(int count = 1);
+
  private:
-  std::mutex mu_;
+  struct PendingFrame {
+    std::string frame;
+    uint64_t lsn = 0;
+    bool sync = false;
+  };
+
+  /// Appends with group commit off: write + flush (+ sync) under the lock.
+  Status AppendDirect(std::string frame, bool sync, uint64_t lsn,
+                      std::unique_lock<std::mutex>& lock);
+
+  /// Appends with group commit on: enqueue, then follow or lead.
+  Status AppendGrouped(std::string frame, bool sync, uint64_t lsn,
+                       std::unique_lock<std::mutex>& lock);
+
+  /// Leads one batch: drains up to `group_max_batch` pending frames (after
+  /// the accumulation window, when `sync`), writes them in one shot with the
+  /// lock released, publishes the durable watermark and steps down.
+  Status LeadBatch(bool sync, std::unique_lock<std::mutex>& lock);
+
+  /// Writes `data` to the file, honouring the torn-write test hook.
+  /// Returns the number of bytes actually written.
+  size_t WriteBytes(const char* data, size_t size, bool tear);
+
+  /// Records a fail-stop: poisons the log and attempts to truncate the file
+  /// back to the last intact offset.  Requires `mu_`.
+  void PoisonLocked(const std::string& why);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::FILE* file_ = nullptr;
   std::string path_;
+  WalOptions options_;
+
+  uint64_t next_lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
+  bool leader_active_ = false;
+  std::vector<PendingFrame> pending_;
+
+  bool poisoned_ = false;
+  Status poison_status_;
+  /// Bytes of fully written-and-flushed frames; the truncation target after
+  /// a torn write.
+  size_t intact_bytes_ = 0;
+
+  int torn_writes_left_ = 0;  // test hook
+
+  WalStats stats_;
 };
 
 }  // namespace kv

@@ -63,6 +63,15 @@ void Measurements::RecordMany(OpId op, int64_t latency_us, Status::Code code,
   cell->returns[static_cast<size_t>(code)] += count;
 }
 
+void Measurements::MergeHistogram(OpId op, const Histogram& histogram,
+                                  Status::Code code) {
+  if (histogram.Count() == 0) return;
+  Series* cell = SeriesFor(op);
+  std::lock_guard<std::mutex> lock(cell->mu);
+  cell->histogram.Merge(histogram);
+  cell->returns[static_cast<size_t>(code)] += histogram.Count();
+}
+
 void Measurements::Measure(OpId op, int64_t latency_us) {
   Series* cell = SeriesFor(op);
   std::lock_guard<std::mutex> lock(cell->mu);

@@ -156,6 +156,12 @@ class Measurements {
   /// pipeline as a batch after the fact.
   void RecordMany(OpId op, int64_t latency_us, Status::Code code, uint64_t count);
 
+  /// Folds a subsystem-owned histogram into `op`'s series in one locked pass,
+  /// counting its samples under `code` — how aggregates accumulated outside
+  /// the measurement layer (the WAL's sync-latency and batch-size stats)
+  /// enter the exporter pipeline.  No-op when `histogram` is empty.
+  void MergeHistogram(OpId op, const Histogram& histogram, Status::Code code);
+
   /// Records one latency sample for `op`.
   void Measure(OpId op, int64_t latency_us);
 

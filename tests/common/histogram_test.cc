@@ -55,6 +55,39 @@ TEST(HistogramTest, MeanAndStdDev) {
   EXPECT_NEAR(h.StdDev(), 2.138, 0.01);
 }
 
+TEST(HistogramTest, StdDevStableForLargeMagnitudeSamples) {
+  // The naive sum-of-squares formula cancels catastrophically when samples
+  // are large relative to their spread: with values near 1e9 the squares eat
+  // all 52 mantissa bits and (sum_sq - sum^2/n) returns 0 or garbage.  The
+  // Welford accumulator must recover the true stddev.
+  Histogram h;
+  for (int64_t v : {1000000000 - 2, 1000000000 - 1, 1000000000,
+                    1000000000 + 1, 1000000000 + 2}) {
+    h.Add(v);
+  }
+  // Sample stddev of {-2,-1,0,1,2} offsets is sqrt(10/4) ~ 1.5811.
+  EXPECT_NEAR(h.StdDev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1e9);
+}
+
+TEST(HistogramTest, StdDevMergeMatchesCombinedFeed) {
+  // Merged variance must equal the combined feed's even when the two parts'
+  // means differ wildly (Chan's combination formula, not moment addition).
+  Histogram a, b, combined;
+  for (int64_t v : {5, 6, 7, 8, 9}) {
+    a.Add(v);
+    combined.Add(v);
+  }
+  for (int64_t v : {2000000000 - 1, 2000000000, 2000000000 + 1}) {
+    b.Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_NEAR(a.StdDev(), combined.StdDev(),
+              combined.StdDev() * 1e-12 + 1e-9);
+}
+
 TEST(HistogramTest, QuantileRelativeErrorStaysBounded) {
   // Log-bucketing promises ~1.5% relative error; verify on a wide range.
   Histogram h;

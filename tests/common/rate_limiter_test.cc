@@ -35,14 +35,31 @@ TEST(TokenBucketTest, RefillsOverTime) {
 }
 
 TEST(TokenBucketTest, DelayReflectsDebt) {
-  TokenBucket bucket(100.0, 1.0);
-  EXPECT_EQ(bucket.AcquireDelayNanos(), 0u);  // the burst token
+  TokenBucket bucket(100.0, 5.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(bucket.AcquireDelayNanos(), 0u);  // the burst tokens
+  }
   uint64_t d1 = bucket.AcquireDelayNanos();
   uint64_t d2 = bucket.AcquireDelayNanos();
   EXPECT_GT(d1, 0u);
-  EXPECT_GT(d2, d1);  // deeper debt, longer wait
+  EXPECT_GT(d2, d1);  // deeper debt (still within one burst), longer wait
   // One token at 100/s is 10ms.
   EXPECT_NEAR(static_cast<double>(d2 - d1), 1e7, 2e6);
+}
+
+TEST(TokenBucketTest, DebtIsClampedToOneBurst) {
+  TokenBucket bucket(1000.0, 2.0);
+  // Drive the bucket into what used to be unbounded debt: without the clamp
+  // the last of these calls would demand ~1 second of sleep.
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) last = bucket.AcquireDelayNanos();
+  EXPECT_GT(last, 0u);
+  // No single delay exceeds one burst's worth: 2 tokens at 1000/s = 2ms.
+  EXPECT_LE(last, 2'000'000u);
+  // Once the clamped debt is slept off, the bucket grants at steady state
+  // again instead of repaying phantom debt.
+  SleepMicros(5000);
+  EXPECT_EQ(bucket.AcquireDelayNanos(), 0u);
 }
 
 TEST(TokenBucketTest, SustainedRateIsEnforced) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "core/benchmark.h"
@@ -152,6 +153,55 @@ TEST(ChaosTest, WithoutRetriesTheSameFaultsFailMoreTransactions) {
   // Both stay consistent: failed transactions refund, they don't corrupt.
   EXPECT_TRUE(retried.validation.passed);
   EXPECT_TRUE(unretried.validation.passed);
+}
+
+TEST(ChaosTest, SyncWalGroupCommitSurvivesChaos) {
+  // The full stack at once: CEW over the txn library, every fault class
+  // firing, the retry loop on, and the local engine running a durable
+  // (sync_wal) group-commit WAL.  The economy must balance, and the WAL's
+  // durability series must surface through both exporters.
+  std::string wal_path = ::testing::TempDir() + "chaos_group_commit.wal";
+  std::remove(wal_path.c_str());
+
+  Properties p = ChaosBase();
+  p.Set("threads", "4");
+  p.Set("memkv.wal_path", wal_path);
+  p.Set("memkv.sync_wal", "true");
+  p.Set("memkv.wal_group_commit", "true");
+  p.Set("memkv.wal_group_max_batch", "32");
+  EnableAllFaults(p);
+  EnableRetries(p);
+
+  DBFactory factory(p);
+  ASSERT_TRUE(factory.Init().ok());
+  ASSERT_NE(factory.local_engine(), nullptr);
+  ASSERT_TRUE(factory.local_engine()->wal_enabled());
+
+  RunResult result;
+  std::string report;
+  ASSERT_TRUE(RunBenchmarkWithFactory(p, &factory, &result, &report).ok());
+
+  EXPECT_TRUE(result.validation.performed);
+  EXPECT_TRUE(result.validation.passed)
+      << "faults + durable group commit must not corrupt the closed economy";
+  EXPECT_GT(result.wal_appends, 0u);
+  EXPECT_GT(result.wal_syncs, 0u);
+  EXPECT_LE(result.wal_syncs, result.wal_appends);
+  EXPECT_GE(result.wal_max_batch, 1);
+
+  // Summary lines and percentile series in the text exporter...
+  EXPECT_NE(report.find("[WAL APPENDS], "), std::string::npos) << report;
+  EXPECT_NE(report.find("[WAL SYNCS], "), std::string::npos);
+  EXPECT_NE(report.find("[WAL-SYNC], Operations, "), std::string::npos);
+  EXPECT_NE(report.find("[WAL-BATCH], Operations, "), std::string::npos);
+
+  // ... and the JSON exporter.
+  std::string json = JsonExporter::Export(result.MakeSummary(), result.op_stats);
+  EXPECT_NE(json.find("\"WAL APPENDS\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"WAL-SYNC\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"WAL-BATCH\""), std::string::npos);
+
+  std::remove(wal_path.c_str());
 }
 
 TEST(ChaosTest, FaultInjectionIsDeterministicUnderAFixedSeed) {
