@@ -1,8 +1,10 @@
 #include "cloud/sim_cloud_store.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/clock.h"
+#include "common/op_context.h"
 #include "common/random.h"
 
 namespace ycsbt {
@@ -91,15 +93,28 @@ Status SimCloudStore::BeginRequest(bool is_write, const std::string& key) {
   }
 
   // 2. Container request-rate cap (token-bucket queue), per partition.
+  //    A wait that would overflow the server's queue bound *or* the caller's
+  //    propagated deadline is rejected up front — the server-busy 503 with a
+  //    Retry-After hint, instead of sleeping through a wait whose answer the
+  //    caller can no longer use.
   bool delayed = false;
   TokenBucket& container = ContainerFor(key);
   if (!container.Unlimited()) {
     uint64_t delay_ns = container.AcquireDelayNanos();
     if (delay_ns > 0) {
-      if (static_cast<double>(delay_ns) / 1000.0 > profile_.max_queue_delay_us) {
+      // Exempt traffic — the harness's load/validation phases and the txn
+      // protocol's post-commit-point cleanup — is *patient*: it opts out of
+      // the busy rejection and waits the queue out instead, so a saturated
+      // run can still be set up, audited, and have its committed work
+      // settled.
+      if (!OpExempt() &&
+          (static_cast<double>(delay_ns) / 1000.0 > profile_.max_queue_delay_us ||
+           delay_ns > OpDeadlineRemainingNanos())) {
         inflight_.fetch_sub(1, std::memory_order_relaxed);
         throttled_.fetch_add(1, std::memory_order_relaxed);
-        return Status::RateLimited(profile_.name + " container busy");
+        return Status::RateLimited(profile_.name +
+                                   " container busy; retry_after_us=" +
+                                   std::to_string(delay_ns / 1000));
       }
       delayed = true;
       queue_delayed_.fetch_add(1, std::memory_order_relaxed);

@@ -81,6 +81,11 @@ struct CloudStats {
 /// ops, etags, conditional put = If-Match, no multi-item transactions);
 /// performance-wise every request pays, in order: the serialized client
 /// section, the container rate-cap queue, and the sampled service latency.
+///
+/// The rate-cap queue honours the caller's ambient `OpContext` deadline: a
+/// request whose queueing delay would outlive the deadline is rejected
+/// immediately as `RateLimited` (with a `retry_after_us=` hint) instead of
+/// sleeping out a wait whose answer is already useless.
 class SimCloudStore : public kv::Store {
  public:
   explicit SimCloudStore(CloudProfile profile,

@@ -1,8 +1,17 @@
 #include "common/retry_policy.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace ycsbt {
+
+uint64_t RetryAfterUsHint(const Status& failure) {
+  static constexpr char kTag[] = "retry_after_us=";
+  const std::string& msg = failure.message();
+  size_t pos = msg.find(kTag);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(msg.c_str() + pos + sizeof(kTag) - 1, nullptr, 10);
+}
 
 RetryPolicy RetryPolicy::FromProperties(const Properties& props) {
   RetryPolicy p;
@@ -19,10 +28,27 @@ RetryPolicy RetryPolicy::FromProperties(const Properties& props) {
   if (p.multiplier < 1.0) p.multiplier = 1.0;
   p.decorrelated_jitter = props.GetBool("retry.jitter", p.decorrelated_jitter);
   p.deadline_us = props.GetUint("retry.deadline_us", p.deadline_us);
+  // A configured breaker and the throttle cooldown describe the same
+  // quantity — how long a saturated backend needs to drain — so the breaker
+  // setting is the default.
+  p.throttle_cooldown_us = props.GetUint(
+      "retry.throttle_cooldown_us",
+      props.GetUint("breaker.cooldown_us", p.throttle_cooldown_us));
   return p;
 }
 
-uint64_t RetryState::NextBackoffUs(Random64& rng) {
+uint64_t RetryState::NextBackoffUs(Random64& rng, const Status& failure) {
+  if (failure.IsThrottle()) {
+    // Cooldown, not congestion probing: honour the server's suggested wait
+    // when it is longer, jitter a little so released clients do not stampede
+    // back in lockstep, and leave the exponential ladder where it was.
+    uint64_t wait = std::max(policy_.throttle_cooldown_us,
+                             RetryAfterUsHint(failure));
+    if (policy_.decorrelated_jitter && wait > 0) {
+      wait += rng.Uniform(wait / 4 + 1);
+    }
+    return wait;
+  }
   uint64_t base = policy_.initial_backoff_us;
   if (base == 0) return 0;
   uint64_t next;

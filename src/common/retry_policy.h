@@ -5,8 +5,15 @@
 
 #include "common/properties.h"
 #include "common/random.h"
+#include "common/status.h"
 
 namespace ycsbt {
+
+/// Parses a server-suggested wait from a failure message: the simulated
+/// cloud store (and the breaker's fail-fast) embed `retry_after_us=<n>` in
+/// their status messages, the HTTP `Retry-After` analogue.  Returns 0 when
+/// the message carries no hint.
+uint64_t RetryAfterUsHint(const Status& failure);
 
 /// Client-side retry discipline for transactions that fail with a retryable
 /// status (`Status::IsRetryable()`): bounded attempts, exponential backoff
@@ -22,6 +29,11 @@ namespace ycsbt {
 ///   retry.jitter              decorrelated jitter on/off (default true)
 ///   retry.deadline_us         per-transaction wall budget spanning all
 ///                             attempts and backoffs; 0 = none (default)
+///   retry.throttle_cooldown_us  wait before retrying a throttle-class
+///                             failure (`Status::IsThrottle()`); defaults to
+///                             `breaker.cooldown_us` when that is set, else
+///                             25000 — retrying a saturated container on the
+///                             hot exponential ladder amplifies the overload
 struct RetryPolicy {
   int max_attempts = 1;
   uint64_t initial_backoff_us = 100;
@@ -29,6 +41,7 @@ struct RetryPolicy {
   double multiplier = 2.0;
   bool decorrelated_jitter = true;
   uint64_t deadline_us = 0;
+  uint64_t throttle_cooldown_us = 25'000;
 
   bool enabled() const { return max_attempts > 1; }
 
@@ -42,12 +55,24 @@ struct RetryPolicy {
 /// (sleep = uniform(base, prev * 3), capped), which spreads synchronized
 /// retry storms far better than plain exponential backoff; without jitter it
 /// is the deterministic base * multiplier^n ladder.
+///
+/// Throttle-class failures (`Status::IsThrottle()`: the store said
+/// RateLimited, or the circuit breaker failed fast with Unavailable) take a
+/// different path: the wait is `max(throttle_cooldown_us, retry_after_us
+/// hint)` and the exponential ladder does not advance — backing away from a
+/// saturated container is cooldown behaviour, not congestion probing.
 class RetryState {
  public:
   explicit RetryState(const RetryPolicy& policy)
       : policy_(policy), prev_us_(policy.initial_backoff_us) {}
 
-  uint64_t NextBackoffUs(Random64& rng);
+  /// Backoff before retrying after `failure`.
+  uint64_t NextBackoffUs(Random64& rng, const Status& failure);
+
+  /// Transient-error schedule only (legacy call sites and tests).
+  uint64_t NextBackoffUs(Random64& rng) {
+    return NextBackoffUs(rng, Status::Aborted());
+  }
 
   /// True when `attempt` (1-based count of attempts already made) has
   /// exhausted the policy or `elapsed_us` blew the deadline.

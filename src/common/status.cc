@@ -30,6 +30,8 @@ const char* Status::CodeName(Code code) {
       return "Corruption";
     case Code::kInternal:
       return "Internal";
+    case Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

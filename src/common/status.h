@@ -32,6 +32,8 @@ class Status {
     kIOError,          ///< WAL or file-system failure.
     kCorruption,       ///< Checksum mismatch or malformed on-disk record.
     kInternal,         ///< Invariant violation inside a module.
+    kUnavailable,      ///< Backend fenced off (circuit breaker open); retry
+                       ///< after a cooldown, not a hot backoff.
   };
 
   /// Constructs an OK status.
@@ -62,6 +64,9 @@ class Status {
     return Make(Code::kCorruption, m);
   }
   static Status Internal(std::string_view m = "") { return Make(Code::kInternal, m); }
+  static Status Unavailable(std::string_view m = "") {
+    return Make(Code::kUnavailable, m);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -76,13 +81,23 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// True for failures that a transaction retry loop may reasonably retry:
-  /// conflicts, aborts, lock-busy and throttling.
+  /// conflicts, aborts, lock-busy, throttling and breaker fail-fasts.
   bool IsRetryable() const {
     return code_ == Code::kConflict || code_ == Code::kAborted ||
            code_ == Code::kBusy || code_ == Code::kRateLimited ||
-           code_ == Code::kTimeout;
+           code_ == Code::kTimeout || code_ == Code::kUnavailable;
+  }
+
+  /// True for overload/throttle-class failures where retrying hot makes the
+  /// saturation worse: the server said "back away" (`kRateLimited`) or the
+  /// client-side breaker fenced the backend (`kUnavailable`).  The retry
+  /// loop waits out a cooldown (or the server-suggested `retry_after_us=`
+  /// hint in the message) instead of the exponential ladder.
+  bool IsThrottle() const {
+    return code_ == Code::kRateLimited || code_ == Code::kUnavailable;
   }
 
   Code code() const { return code_; }
@@ -110,7 +125,7 @@ class Status {
 /// completions per code in a dense array indexed by code, so this must track
 /// the last enumerator above.
 inline constexpr size_t kStatusCodeCount =
-    static_cast<size_t>(Status::Code::kInternal) + 1;
+    static_cast<size_t>(Status::Code::kUnavailable) + 1;
 
 }  // namespace ycsbt
 

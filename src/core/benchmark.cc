@@ -37,6 +37,7 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     run.status_interval_seconds = props.GetDouble("status.interval", 0.0);
     run.stall_windows = static_cast<int>(props.GetInt("status.stall_windows", 3));
     run.retry = RetryPolicy::FromProperties(props);
+    run.shed = BrownoutOptions::FromProperties(props);
     // Faults perturb only the measured run — the load phase must populate
     // the table completely and the validation sweep must see the store as
     // it is.

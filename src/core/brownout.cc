@@ -1,0 +1,20 @@
+#include "core/brownout.h"
+
+namespace ycsbt {
+namespace core {
+
+BrownoutOptions BrownoutOptions::FromProperties(const Properties& props) {
+  BrownoutOptions o;
+  o.enabled = props.GetBool("shed.enabled", o.enabled);
+  o.max_inflight =
+      static_cast<int>(props.GetInt("shed.max_inflight", o.max_inflight));
+  if (o.max_inflight < 0) o.max_inflight = 0;
+  o.drop_read_only = props.GetBool("shed.drop_reads", o.drop_read_only);
+  o.queue_delay_us = props.GetDouble("shed.queue_delay_us", o.queue_delay_us);
+  o.windows = static_cast<int>(props.GetInt("shed.windows", o.windows));
+  if (o.windows < 1) o.windows = 1;
+  return o;
+}
+
+}  // namespace core
+}  // namespace ycsbt

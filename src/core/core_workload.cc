@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 #include "generator/exponential_generator.h"
 #include "generator/hotspot_generator.h"
@@ -215,8 +216,19 @@ bool CoreWorkload::DoInsert(DB& db, ThreadState* state) {
   return db.Insert(table_, key, values).ok();
 }
 
+bool CoreWorkload::NextTransactionReadOnly(ThreadState* state) {
+  // Draw the next operation once and park it on the thread state;
+  // DoTransaction consumes the parked draw, so peeking is stream-neutral.
+  if (state->peeked_op == nullptr) {
+    state->peeked_op = op_chooser_.Next(state->rng);
+  }
+  return state->peeked_op == txop::kRead || state->peeked_op == txop::kScan;
+}
+
 TxnOpResult CoreWorkload::DoTransaction(DB& db, ThreadState* state) {
-  const char* op = op_chooser_.Next(state->rng);
+  const char* op = state->peeked_op != nullptr
+                       ? std::exchange(state->peeked_op, nullptr)
+                       : op_chooser_.Next(state->rng);
   TxnOpResult result;
   result.op = op;
   if (op == txop::kRead) {

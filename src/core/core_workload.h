@@ -47,6 +47,7 @@ class CoreWorkload : public Workload {
 
   bool DoInsert(DB& db, ThreadState* state) override;
   TxnOpResult DoTransaction(DB& db, ThreadState* state) override;
+  bool NextTransactionReadOnly(ThreadState* state) override;
 
   uint64_t record_count() const override { return record_count_; }
   const std::string& table() const { return table_; }

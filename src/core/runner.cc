@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/latency_model.h"
 #include "common/logging.h"
+#include "common/op_context.h"
 #include "common/sync.h"
 #include "db/measured_db.h"
 
@@ -49,6 +50,23 @@ RunSummary RunResult::MakeSummary() const {
   if (stall_events != 0) {
     summary.extra.emplace_back("WATCHDOG STALLS", std::to_string(stall_events));
   }
+  if (resilience_enabled) {
+    summary.extra.emplace_back("BREAKER OPENS", std::to_string(breaker_opens));
+    summary.extra.emplace_back("BREAKER FAST-FAILS",
+                               std::to_string(breaker_fast_fails));
+    summary.extra.emplace_back("BREAKER PROBES", std::to_string(breaker_probes));
+    summary.extra.emplace_back("BREAKER RECLOSES",
+                               std::to_string(breaker_recloses));
+    summary.extra.emplace_back("HEDGES SENT", std::to_string(hedges_sent));
+    summary.extra.emplace_back("HEDGES WON", std::to_string(hedges_won));
+    summary.extra.emplace_back("HEDGES WASTED", std::to_string(hedges_wasted));
+    summary.extra.emplace_back("DEADLINE ABANDONS",
+                               std::to_string(deadline_abandons));
+  }
+  if (shed_enabled) {
+    summary.extra.emplace_back("SHED TXNS", std::to_string(shed_txns));
+    summary.extra.emplace_back("SHED READS", std::to_string(shed_reads));
+  }
   if (wal_appends != 0) {
     summary.extra.emplace_back("WAL APPENDS", std::to_string(wal_appends));
     summary.extra.emplace_back("WAL SYNCS", std::to_string(wal_syncs));
@@ -84,6 +102,7 @@ struct alignas(64) ClientProgress {
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> giveups{0};
   std::atomic<uint64_t> backoff_us{0};
+  std::atomic<uint64_t> sheds{0};
   /// Set when the thread exits its loop, so the watchdog's stall detector
   /// does not flag finished threads.
   std::atomic<bool> done{false};
@@ -147,6 +166,10 @@ Status WorkloadRunner::Load(const LoadOptions& options) {
         skipped.fetch_add(quota, std::memory_order_relaxed);
         return;
       }
+      // The load phase is setup, not measured client traffic: like the
+      // fault layer (armed only around the run), the resilience layer's
+      // breakers/deadlines/hedging must not apply to it.
+      OpExemptScope resilience_exempt;
       auto state = workload_->InitThread(t, threads);
       for (uint64_t i = 0; i < quota; ++i) {
         bool ok;
@@ -195,6 +218,15 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   double per_thread_target =
       options.target_ops_per_sec > 0.0 ? options.target_ops_per_sec / threads : 0.0;
 
+  // Brownout admission control, shared by all client threads; wired to the
+  // factory's resilience layer so an Open breaker flips the system into
+  // brownout deterministically.
+  std::unique_ptr<BrownoutController> brownout;
+  if (options.shed.enabled) {
+    brownout = std::make_unique<BrownoutController>(options.shed,
+                                                    factory_->resilient_store());
+  }
+
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       auto raw = factory_->CreateClient();
@@ -220,6 +252,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       TxSeriesCache tx_series(measurements_);
       OpId retry_series = measurements_->RegisterOp("TX-RETRY");
       OpId giveup_series = measurements_->RegisterOp("TX-GIVEUP");
+      OpId shed_series = measurements_->RegisterOp("SHED");
       ClientProgress& mine = progress[static_cast<size_t>(t)];
       uint64_t quota = options.operation_count == 0
                            ? std::numeric_limits<uint64_t>::max()
@@ -235,13 +268,35 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       uint64_t next_op_ns = SteadyNanos();
 
       uint64_t ops = 0, committed = 0, failed = 0, latency_sum_us = 0;
-      uint64_t retries = 0, giveups = 0, backoff_us = 0;
+      uint64_t retries = 0, giveups = 0, backoff_us = 0, sheds = 0;
       for (uint64_t i = 0; i < quota && !stop.load(std::memory_order_relaxed); ++i) {
         if (interval_ns != 0) {
           uint64_t now = SteadyNanos();
           if (now < next_op_ns) SleepMicros((next_op_ns - now) / 1000);
           next_op_ns += interval_ns;
         }
+
+        // Brownout admission: while the system is browned out the thread
+        // sheds this transaction — consuming its quota slot, so the run
+        // still terminates — instead of queueing behind a saturated
+        // backend.  Read-only transactions go first (the peek is
+        // stream-neutral, so determinism holds).
+        if (brownout != nullptr) {
+          bool read_only = brownout->WantsReadOnlyHint() &&
+                           workload_->NextTransactionReadOnly(state.get());
+          if (!brownout->AdmitTxn(read_only)) {
+            sink->Record(shed_series, 0, Status::Code::kUnavailable);
+            ++sheds;
+            mine.sheds.store(sheds, std::memory_order_relaxed);
+            continue;
+          }
+        }
+
+        // The per-transaction deadline (retry.deadline_us) propagates down
+        // the store stack as the ambient OpContext: once it expires, every
+        // layer below fails fast instead of paying more doomed RPCs.
+        OpDeadlineScope deadline_scope(
+            options.wrap_in_transactions ? options.retry.deadline_us : 0);
 
         // Whole-transaction latency spans every attempt and backoff, so the
         // TX-<OP> series reports what the end user experienced.
@@ -273,7 +328,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
             // Let the workload unwind out-of-band attempt state (CEW refunds
             // its pending withdrawal) before DoTransaction runs again.
             workload_->OnTransactionRetry(state.get(), op);
-            uint64_t pause_us = backoff.NextBackoffUs(backoff_rng);
+            uint64_t pause_us = backoff.NextBackoffUs(backoff_rng, failure);
             sink->Record(retry_series, static_cast<int64_t>(pause_us),
                          failure.code());
             ++retries;
@@ -285,6 +340,7 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
           commit_ok = op.ok;
         }
         workload_->OnTransactionOutcome(state.get(), op, commit_ok);
+        if (brownout != nullptr) brownout->OnTxnDone();
 
         int64_t txn_us = static_cast<int64_t>(txn_watch.ElapsedMicros());
         sink->Record(tx_series.Get(op.op), txn_us,
@@ -319,6 +375,12 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   txn::TxnStats txn_before;
   txn::ClientTxnStore* txn_store = factory_->client_txn_store();
   if (txn_store != nullptr) txn_before = txn_store->stats();
+
+  // Same for the resilience layer: the load phase goes through it too, so
+  // the report must be the run-window delta.
+  kv::ResilientStore* resilience = factory_->resilient_store();
+  kv::ResilienceStats res_before;
+  if (resilience != nullptr) res_before = resilience->stats();
 
   // Discard WAL durability counters the load phase accumulated, so the
   // post-run drain reports this run window only.
@@ -355,7 +417,10 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
               stall_windows[static_cast<size_t>(c)] = 0;
               continue;
             }
-            uint64_t now_ops = p.ops.load(std::memory_order_relaxed);
+            // Shed transactions count as progress: a thread gracefully
+            // shedding through a brownout is degrading, not stuck.
+            uint64_t now_ops = p.ops.load(std::memory_order_relaxed) +
+                               p.sheds.load(std::memory_order_relaxed);
             if (now_ops == stall_last_ops[static_cast<size_t>(c)]) {
               if (++stall_windows[static_cast<size_t>(c)] >=
                   options.stall_windows) {
@@ -389,6 +454,12 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                             : static_cast<double>(latency_sum - last_latency_sum) /
                                   static_cast<double>(window_ops);
         measurements_->RecordInterval(sample);
+        // Sustained queue delay is the brownout controller's second trigger
+        // (the first is an Open breaker): feed it the window's average
+        // whole-transaction latency.
+        if (brownout != nullptr && sample.operations != 0) {
+          brownout->ReportWindow(sample.avg_latency_us);
+        }
         if (options.status_callback) {
           options.status_callback(elapsed, ops, interval_rate);
         } else {
@@ -452,6 +523,43 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                               Status::Code::kOk, result->roll_backs);
   }
 
+  if (resilience != nullptr) {
+    // Overload-tolerance activity during the run window, as series both
+    // exporters render plus summary counters.
+    kv::ResilienceStats after = resilience->stats();
+    result->resilience_enabled = true;
+    result->breaker_opens = after.breaker.opens - res_before.breaker.opens;
+    result->breaker_fast_fails =
+        after.breaker.fast_fails - res_before.breaker.fast_fails;
+    result->breaker_probes =
+        after.breaker.probes_sent - res_before.breaker.probes_sent;
+    result->breaker_recloses =
+        after.breaker.recloses - res_before.breaker.recloses;
+    result->hedges_sent = after.hedges_sent - res_before.hedges_sent;
+    result->hedges_won = after.hedges_won - res_before.hedges_won;
+    result->hedges_wasted = after.hedges_wasted - res_before.hedges_wasted;
+    result->deadline_abandons =
+        after.deadline_rejects - res_before.deadline_rejects;
+    measurements_->RecordMany(measurements_->RegisterOp("BREAKER-OPEN"), 0,
+                              Status::Code::kOk, result->breaker_opens);
+    measurements_->RecordMany(measurements_->RegisterOp("BREAKER-PROBE"), 0,
+                              Status::Code::kOk, result->breaker_probes);
+    measurements_->RecordMany(measurements_->RegisterOp("HEDGE-SENT"), 0,
+                              Status::Code::kOk, result->hedges_sent);
+    measurements_->RecordMany(measurements_->RegisterOp("HEDGE-WON"), 0,
+                              Status::Code::kOk, result->hedges_won);
+    measurements_->RecordMany(measurements_->RegisterOp("HEDGE-WASTED"), 0,
+                              Status::Code::kOk, result->hedges_wasted);
+    measurements_->RecordMany(measurements_->RegisterOp("DEADLINE-ABANDON"), 0,
+                              Status::Code::kTimeout, result->deadline_abandons);
+  }
+
+  if (brownout != nullptr) {
+    result->shed_enabled = true;
+    result->shed_txns = brownout->sheds();
+    result->shed_reads = brownout->shed_reads();
+  }
+
   if (track_wal) {
     // Fold the WAL's run-window durability stats into the shared series so
     // both exporters render WAL-SYNC (fdatasync latency) and WAL-BATCH
@@ -478,6 +586,9 @@ Status WorkloadRunner::Validate(uint64_t operations_executed, ValidationResult* 
   if (db == nullptr) return Status::Internal("client init failed");
   Status s = db->Init();
   if (!s.ok()) return s;
+  // The validation stage is the auditor, not client traffic: it must see
+  // the store even if the run ended browned out with breakers still open.
+  OpExemptScope resilience_exempt;
   s = workload_->Validate(*db, operations_executed, out);
   db->Cleanup();
   return s;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/retry_policy.h"
+#include "core/brownout.h"
 #include "core/workload.h"
 #include "db/db_factory.h"
 #include "measurement/exporter.h"
@@ -57,15 +58,24 @@ struct RunOptions {
   /// Watchdog stall detection: a client thread whose operation counter does
   /// not advance for this many consecutive status windows is flagged (warn
   /// log + `watchdog stalls` summary note).  Needs a status interval; 0
-  /// disables.
+  /// disables.  Shed transactions count as progress — a thread gracefully
+  /// shedding under brownout is degrading, not stuck.
   int stall_windows = 3;
+
+  /// Brownout/load-shedding policy (`shed.*` properties).  When enabled the
+  /// runner gates every transaction through a `BrownoutController` wired to
+  /// the factory's resilience layer; the latency trigger additionally needs
+  /// a status interval (the watchdog feeds it per-window latency).
+  BrownoutOptions shed;
 };
 
 /// Everything a finished run reports.
 struct RunResult {
   double runtime_ms = 0.0;
   double throughput_ops_sec = 0.0;
-  uint64_t operations = 0;  ///< workload transactions attempted
+  uint64_t operations = 0;  ///< workload transactions attempted (shed
+                            ///< transactions consume quota but never start,
+                            ///< so they are counted in `shed_txns` instead)
   uint64_t committed = 0;   ///< transactions whose commit succeeded
   uint64_t failed = 0;      ///< workload failures + failed commits
 
@@ -82,6 +92,21 @@ struct RunResult {
   uint64_t ambiguous_commits = 0; ///< lost TSR replies settled by re-read
 
   uint64_t stall_events = 0;  ///< watchdog stall flags raised
+
+  // Overload-tolerance accounting for the run window (all zero unless the
+  // factory wired a resilience layer / the runner a brownout controller).
+  bool resilience_enabled = false;
+  uint64_t breaker_opens = 0;      ///< Closed/Half-Open -> Open transitions
+  uint64_t breaker_fast_fails = 0; ///< arrivals rejected while Open
+  uint64_t breaker_probes = 0;     ///< Half-Open trial requests admitted
+  uint64_t breaker_recloses = 0;   ///< Half-Open -> Closed recoveries
+  uint64_t hedges_sent = 0;        ///< duplicate reads issued
+  uint64_t hedges_won = 0;         ///< hedges whose answer was used
+  uint64_t hedges_wasted = 0;      ///< hedges cancelled/discarded on arrival
+  uint64_t deadline_abandons = 0;  ///< ops failed fast on an expired deadline
+  bool shed_enabled = false;
+  uint64_t shed_txns = 0;   ///< transactions shed by the brownout controller
+  uint64_t shed_reads = 0;  ///< of those, read-only ones dropped first
 
   // WAL durability accounting for the run window (all zero unless the
   // binding runs on the local engine with a WAL configured).

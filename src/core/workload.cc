@@ -21,6 +21,12 @@ void Workload::OnTransactionOutcome(ThreadState* /*state*/,
                                     const TxnOpResult& /*result*/,
                                     bool /*committed*/) {}
 
+bool Workload::NextTransactionReadOnly(ThreadState* /*state*/) {
+  // Unclassified workloads shed by the in-flight cap only, never by the
+  // read-only-first policy.
+  return false;
+}
+
 void Workload::OnTransactionRetry(ThreadState* state, const TxnOpResult& result) {
   // A retried attempt is an aborted outcome as far as out-of-band state is
   // concerned (CEW refunds its pending withdrawal and re-derives the amount

@@ -58,6 +58,10 @@ class Workload {
     virtual ~ThreadState() = default;
 
     Random64 rng;
+    /// Operation drawn ahead of time by `NextTransactionReadOnly` and
+    /// consumed by the next `DoTransaction` call, so peeking never perturbs
+    /// the deterministic op/key streams.  Null = nothing pending.
+    const char* peeked_op = nullptr;
   };
 
   /// Reads workload parameters.  Called once before any thread starts.
@@ -77,6 +81,14 @@ class Workload {
 
   /// One run-phase transaction (one or more DB operations).
   virtual TxnOpResult DoTransaction(DB& db, ThreadState* state) = 0;
+
+  /// Peeks whether the *next* `DoTransaction` on this thread would be
+  /// read-only — the brownout controller's shed-reads-first hint.
+  /// Implementations that draw their operation from an RNG must cache the
+  /// draw in `state->peeked_op` (and consume it in `DoTransaction`) so the
+  /// peek leaves the deterministic streams intact.  Default: false, i.e.
+  /// treat every transaction as potentially mutating.
+  virtual bool NextTransactionReadOnly(ThreadState* state);
 
   /// Tier-6 validation stage; default no-op (`performed = false`).
   /// `operations_executed` is the number of workload transactions the run

@@ -43,6 +43,21 @@ void DBFactory::MaybeInjectFaults() {
   front_store_ = fault_store_;
 }
 
+void DBFactory::MaybeAddResilience() {
+  kv::ResilienceOptions options = kv::ResilienceOptions::FromProperties(props_);
+  bool deadline_wanted = options.deadline_fail_fast &&
+                         props_.GetUint("retry.deadline_us", 0) > 0;
+  if (!options.breaker.enabled && !options.hedge_enabled && !deadline_wanted) {
+    return;
+  }
+  // One breaker per backend partition: the cloud store's containers, or the
+  // single local engine.
+  int backends = cloud_ != nullptr ? cloud_->profile().containers : 1;
+  resilient_store_ =
+      std::make_shared<kv::ResilientStore>(front_store_, options, backends);
+  front_store_ = resilient_store_;
+}
+
 Status DBFactory::BuildBase(const std::string& base_name) {
   if (base_name == "memkv") {
     front_store_ = MakeLocalEngine();
@@ -62,6 +77,8 @@ Status DBFactory::BuildBase(const std::string& base_name) {
         static_cast<int>(props_.GetInt("cloud.containers", profile.containers));
     double serial = props_.GetDouble("cloud.client_serial_us", -1.0);
     if (serial >= 0.0) profile.client_serial_us_per_inflight = serial;
+    profile.max_queue_delay_us =
+        props_.GetDouble("cloud.max_queue_delay_us", profile.max_queue_delay_us);
     cloud_ = std::make_shared<cloud::SimCloudStore>(profile, MakeLocalEngine());
     double scale = props_.GetDouble("cloud.latency_scale", 1.0);
     if (scale != 1.0) cloud_->ScaleLatency(scale);
@@ -85,6 +102,7 @@ Status DBFactory::Init() {
     Status s = BuildBase(name_.substr(4));
     if (!s.ok()) return s;
     MaybeInjectFaults();
+    MaybeAddResilience();
 
     txn::TxnOptions options;
     std::string isolation = props_.Get("txn.isolation", "snapshot");
@@ -120,6 +138,7 @@ Status DBFactory::Init() {
   if (name_ == "2pl+memkv") {
     front_store_ = MakeLocalEngine();
     MaybeInjectFaults();
+    MaybeAddResilience();
     txn::Local2PLOptions options;
     options.lock_timeout_us =
         props_.GetUint("2pl.lock_timeout_us", options.lock_timeout_us);
@@ -134,6 +153,7 @@ Status DBFactory::Init() {
                                  : s;
   }
   MaybeInjectFaults();
+  MaybeAddResilience();
   initialized_ = true;
   return Status::OK();
 }

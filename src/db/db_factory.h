@@ -9,6 +9,7 @@
 #include "db/db.h"
 #include "kv/fault_injecting_store.h"
 #include "kv/instrumented_store.h"
+#include "kv/resilient_store.h"
 #include "txn/client_txn_store.h"
 #include "txn/local_2pl.h"
 
@@ -33,6 +34,7 @@ namespace ycsbt {
 /// `memkv.sync_wal`, `memkv.wal_group_commit`, `memkv.wal_group_max_batch`,
 /// `memkv.wal_group_window_us`, `rawhttp.latency_median_us`, `rawhttp.latency_sigma`,
 /// `rawhttp.latency_floor_us`, `cloud.latency_scale`, `cloud.rate_limit`,
+/// `cloud.max_queue_delay_us`,
 /// `txn.isolation` (snapshot|serializable), `txn.lease_us`,
 /// `txn.timestamps` (hlc|oracle), `txn.oracle_rtt_us`, `txn.cleanup_tsr`,
 /// `2pl.lock_timeout_us`, `basicdb.delay_us`.
@@ -42,6 +44,12 @@ namespace ycsbt {
 /// the benchmark driver arms it only around the measured run phase — and,
 /// for `txn+*` bindings, the same object is wired in as the transaction
 /// library's commit-pipeline `CrashInjector`.
+///
+/// When `breaker.enabled`, `hedge.enabled` or a per-transaction deadline
+/// (`retry.deadline_us` with `deadline.enforce`) is configured, the store —
+/// including any fault decorator, so the breaker sees injected throttles —
+/// is additionally wrapped in a `kv::ResilientStore` (circuit breakers,
+/// hedged reads, deadline fail-fast; `breaker.*`/`hedge.*` properties).
 class DBFactory {
  public:
   explicit DBFactory(Properties props) : props_(std::move(props)) {}
@@ -62,6 +70,8 @@ class DBFactory {
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
   /// Non-null iff fault injection is configured; arm with `set_enabled`.
   kv::FaultInjectingStore* fault_store() const { return fault_store_.get(); }
+  /// Non-null iff the overload-tolerance layer is configured.
+  kv::ResilientStore* resilient_store() const { return resilient_store_.get(); }
   /// Non-null iff the binding runs on the local engine (directly or below
   /// decorators) — used to drain WAL durability stats into the measurements.
   kv::ShardedStore* local_engine() const { return local_engine_.get(); }
@@ -80,11 +90,17 @@ class DBFactory {
   /// `fault.*` rate is configured.
   void MaybeInjectFaults();
 
+  /// Wraps `front_store_` in the overload-tolerance decorator when a
+  /// breaker, hedging or an enforced deadline is configured.  Call after
+  /// `MaybeInjectFaults` so the breaker observes injected faults.
+  void MaybeAddResilience();
+
   Properties props_;
   std::string name_;
   std::shared_ptr<kv::Store> front_store_;
   std::shared_ptr<kv::ShardedStore> local_engine_;
   std::shared_ptr<kv::FaultInjectingStore> fault_store_;
+  std::shared_ptr<kv::ResilientStore> resilient_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;
   txn::ClientTxnStore* client_txn_store_ = nullptr;  // owned via txn_kv_

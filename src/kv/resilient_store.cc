@@ -1,0 +1,320 @@
+#include "kv/resilient_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace ycsbt {
+namespace kv {
+
+ResilienceOptions ResilienceOptions::FromProperties(const Properties& props) {
+  ResilienceOptions o;
+  o.breaker = CircuitBreakerOptions::FromProperties(props);
+  o.hedge_enabled = props.GetBool("hedge.enabled", o.hedge_enabled);
+  o.hedge_delay_us = props.GetInt("hedge.delay_us", o.hedge_delay_us);
+  o.hedge_percentile = props.GetDouble("hedge.percentile", o.hedge_percentile);
+  o.hedge_percentile = std::clamp(o.hedge_percentile, 1.0, 100.0);
+  o.hedge_delay_min_us =
+      props.GetUint("hedge.delay_min_us", o.hedge_delay_min_us);
+  o.hedge_delay_max_us =
+      props.GetUint("hedge.delay_max_us", o.hedge_delay_max_us);
+  if (o.hedge_delay_max_us < o.hedge_delay_min_us) {
+    o.hedge_delay_max_us = o.hedge_delay_min_us;
+  }
+  o.hedge_workers =
+      static_cast<int>(props.GetInt("hedge.workers", o.hedge_workers));
+  if (o.hedge_workers < 1) o.hedge_workers = 1;
+  o.deadline_fail_fast =
+      props.GetBool("deadline.enforce", o.deadline_fail_fast);
+  return o;
+}
+
+ResilientStore::WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ResilientStore::WorkerPool::Start(int workers) {
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, queue drained
+        std::function<void()> fn = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        fn();
+        lock.lock();
+      }
+    });
+  }
+}
+
+void ResilientStore::WorkerPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty() || stopping_) {
+      // No pool (hedging off) — degenerate to inline execution.
+      fn();
+      return;
+    }
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+ResilientStore::ResilientStore(std::shared_ptr<Store> base,
+                               ResilienceOptions options, int backends)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (options_.breaker.enabled) {
+    breakers_ =
+        std::make_unique<CircuitBreakerSet>(options_.breaker, backends);
+  }
+  if (options_.hedge_enabled) {
+    read_samples_us_.reserve(256);
+    pool_.Start(options_.hedge_workers);
+  }
+}
+
+ResilientStore::~ResilientStore() = default;
+
+Status ResilientStore::Preflight(const std::string& key, CircuitBreaker** b,
+                                 bool* probe) {
+  if (OpExempt()) return Status::OK();
+  if (options_.deadline_fail_fast && OpDeadlineExpired()) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Timeout("op deadline expired; request abandoned");
+  }
+  if (breakers_ != nullptr) {
+    CircuitBreaker& breaker = breakers_->ForKey(key);
+    CircuitBreaker::Ticket ticket = breaker.Admit();
+    if (!ticket.admitted) {
+      // Advertise the wall-clock cooldown only when it is the operative
+      // mechanism.  A count-based cooldown is burned by *arrivals*, so
+      // telling the retry loop to sleep it out would starve the breaker of
+      // the rejects that become its Half-Open probe.
+      if (options_.breaker.cooldown_rejects > 0) {
+        return Status::Unavailable("breaker open");
+      }
+      return Status::Unavailable(
+          "breaker open; retry_after_us=" +
+          std::to_string(options_.breaker.cooldown_us));
+    }
+    *b = &breaker;
+    *probe = ticket.probe;
+  }
+  return Status::OK();
+}
+
+void ResilientStore::RecordReadSampleUs(uint64_t us) {
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  if (read_samples_us_.size() < 256) {
+    read_samples_us_.push_back(us);
+  } else {
+    read_samples_us_[samples_next_] = us;
+    samples_next_ = (samples_next_ + 1) % read_samples_us_.size();
+  }
+}
+
+uint64_t ResilientStore::CurrentHedgeDelayUs() const {
+  if (options_.hedge_delay_us >= 0) {
+    return static_cast<uint64_t>(options_.hedge_delay_us);
+  }
+  std::vector<uint64_t> samples;
+  {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    samples = read_samples_us_;
+  }
+  // Too little signal: hedge late rather than flood a cold store.
+  if (samples.size() < 16) return options_.hedge_delay_max_us;
+  size_t idx = static_cast<size_t>(static_cast<double>(samples.size() - 1) *
+                                   options_.hedge_percentile / 100.0);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(idx),
+                   samples.end());
+  return std::clamp(samples[idx], options_.hedge_delay_min_us,
+                    options_.hedge_delay_max_us);
+}
+
+Status ResilientStore::HedgedRead(const std::string& key, const ReadFn& op,
+                                  CircuitBreaker* b, bool probe,
+                                  ReadResult* out) {
+  auto cell = std::make_shared<HedgeCell>();
+  // The primary runs on a pool worker carrying this thread's OpContext, so
+  // the caller can adopt the hedge's answer and return while the stalled
+  // primary is still in flight.
+  OpContext ctx = CurrentOpContext();
+  pool_.Submit([this, cell, op, b, probe, ctx] {
+    OpContextRestoreScope scope(ctx);
+    Stopwatch watch;
+    ReadResult result;
+    result.status = op(*base_, &result);
+    if (b != nullptr) b->OnResult(result.status, probe);
+    RecordReadSampleUs(watch.ElapsedMicros());
+    std::lock_guard<std::mutex> lock(cell->mu);
+    cell->primary = std::move(result);
+    cell->primary_done = true;
+    if (cell->winner == 0 && Definitive(cell->primary.status)) {
+      cell->winner = 1;
+    }
+    cell->cv.notify_all();
+  });
+
+  uint64_t delay_us = CurrentHedgeDelayUs();
+  std::unique_lock<std::mutex> lock(cell->mu);
+  cell->cv.wait_for(lock, std::chrono::microseconds(delay_us),
+                    [&] { return cell->primary_done; });
+  if (!cell->primary_done) {
+    // Primary is slow: issue one hedge on this thread.  The hedge pays its
+    // own breaker/deadline admission, so an overloaded backend is never
+    // double-hammered through the hedging path.
+    lock.unlock();
+    CircuitBreaker* hb = nullptr;
+    bool hedge_probe = false;
+    bool send = Preflight(key, &hb, &hedge_probe).ok();
+    ReadResult hedge;
+    if (send) {
+      hedges_sent_.fetch_add(1, std::memory_order_relaxed);
+      hedge.status = op(*base_, &hedge);
+      if (hb != nullptr) hb->OnResult(hedge.status, hedge_probe);
+    }
+    lock.lock();
+    if (send) {
+      if (cell->winner == 0 && Definitive(hedge.status)) {
+        // First usable answer: the primary is cancelled in effect — its
+        // result will be discarded when it lands.
+        cell->winner = 2;
+        hedges_won_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hedges_wasted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (cell->winner == 2) {
+      *out = std::move(hedge);
+      return out->status;
+    }
+    cell->cv.wait(lock, [&] { return cell->primary_done; });
+  }
+  *out = std::move(cell->primary);
+  return out->status;
+}
+
+Status ResilientStore::RunRead(const std::string& key, const ReadFn& op,
+                               ReadResult* out) {
+  CircuitBreaker* b = nullptr;
+  bool probe = false;
+  Status admit = Preflight(key, &b, &probe);
+  if (!admit.ok()) return admit;
+  if (options_.hedge_enabled && !OpExempt()) {
+    return HedgedRead(key, op, b, probe, out);
+  }
+  Stopwatch watch;
+  out->status = op(*base_, out);
+  if (b != nullptr) b->OnResult(out->status, probe);
+  if (options_.hedge_enabled) RecordReadSampleUs(watch.ElapsedMicros());
+  return out->status;
+}
+
+Status ResilientStore::Get(const std::string& key, std::string* value,
+                           uint64_t* etag) {
+  ReadResult result;
+  // The ReadFn owns a copy of the key: a hedged primary may still be
+  // running it on a pool worker after the caller (and its key) is gone.
+  Status s = RunRead(
+      key,
+      [key](Store& store, ReadResult* r) {
+        return store.Get(key, &r->value, &r->etag);
+      },
+      &result);
+  if (s.ok()) {
+    if (value != nullptr) *value = std::move(result.value);
+    if (etag != nullptr) *etag = result.etag;
+  }
+  return s;
+}
+
+Status ResilientStore::Scan(const std::string& start_key, size_t limit,
+                            std::vector<ScanEntry>* out) {
+  ReadResult result;
+  // Owning capture: see Get — the primary can outlive the caller's key.
+  Status s = RunRead(
+      start_key,
+      [start_key, limit](Store& store, ReadResult* r) {
+        return store.Scan(start_key, limit, &r->entries);
+      },
+      &result);
+  if (s.ok() && out != nullptr) *out = std::move(result.entries);
+  return s;
+}
+
+// Mutations: breaker + deadline admission only.  They never enter the
+// hedging path — a duplicated lock put, TSR put or delete would break the
+// transaction protocol's exactly-once assumptions.
+
+Status ResilientStore::Put(const std::string& key, std::string_view value,
+                           uint64_t* etag_out) {
+  CircuitBreaker* b = nullptr;
+  bool probe = false;
+  Status admit = Preflight(key, &b, &probe);
+  if (!admit.ok()) return admit;
+  Status s = base_->Put(key, value, etag_out);
+  if (b != nullptr) b->OnResult(s, probe);
+  return s;
+}
+
+Status ResilientStore::ConditionalPut(const std::string& key,
+                                      std::string_view value,
+                                      uint64_t expected_etag,
+                                      uint64_t* etag_out) {
+  CircuitBreaker* b = nullptr;
+  bool probe = false;
+  Status admit = Preflight(key, &b, &probe);
+  if (!admit.ok()) return admit;
+  Status s = base_->ConditionalPut(key, value, expected_etag, etag_out);
+  if (b != nullptr) b->OnResult(s, probe);
+  return s;
+}
+
+Status ResilientStore::Delete(const std::string& key) {
+  CircuitBreaker* b = nullptr;
+  bool probe = false;
+  Status admit = Preflight(key, &b, &probe);
+  if (!admit.ok()) return admit;
+  Status s = base_->Delete(key);
+  if (b != nullptr) b->OnResult(s, probe);
+  return s;
+}
+
+Status ResilientStore::ConditionalDelete(const std::string& key,
+                                         uint64_t expected_etag) {
+  CircuitBreaker* b = nullptr;
+  bool probe = false;
+  Status admit = Preflight(key, &b, &probe);
+  if (!admit.ok()) return admit;
+  Status s = base_->ConditionalDelete(key, expected_etag);
+  if (b != nullptr) b->OnResult(s, probe);
+  return s;
+}
+
+size_t ResilientStore::Count() const { return base_->Count(); }
+
+ResilienceStats ResilientStore::stats() const {
+  ResilienceStats s;
+  if (breakers_ != nullptr) s.breaker = breakers_->Aggregate();
+  s.hedges_sent = hedges_sent_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  s.hedges_wasted = hedges_wasted_.load(std::memory_order_relaxed);
+  s.deadline_rejects = deadline_rejects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kv
+}  // namespace ycsbt

@@ -1,0 +1,195 @@
+#ifndef YCSBT_KV_RESILIENT_STORE_H_
+#define YCSBT_KV_RESILIENT_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/op_context.h"
+#include "common/properties.h"
+#include "kv/store.h"
+
+namespace ycsbt {
+namespace kv {
+
+/// Configuration of the overload-tolerance decorator.  `breaker.*` is the
+/// per-backend circuit breaker (see `CircuitBreakerOptions`); the rest:
+///
+///   hedge.enabled       hedge idempotent reads (Get/Scan) after a delay
+///                       (default false)
+///   hedge.delay_us      fixed hedge delay; < 0 = adaptive, derived from the
+///                       observed read-latency percentile (default -1)
+///   hedge.percentile    percentile the adaptive delay tracks (default 95)
+///   hedge.delay_min_us / hedge.delay_max_us
+///                       clamp on the adaptive delay (1000 / 100000)
+///   hedge.workers       threads running hedged primaries (default 4)
+///   deadline.enforce    fail ops fast once the ambient `OpContext` deadline
+///                       has passed (default true; only bites when the
+///                       runner installs a deadline from retry.deadline_us)
+struct ResilienceOptions {
+  CircuitBreakerOptions breaker;
+  bool hedge_enabled = false;
+  int64_t hedge_delay_us = -1;
+  double hedge_percentile = 95.0;
+  uint64_t hedge_delay_min_us = 1'000;
+  uint64_t hedge_delay_max_us = 100'000;
+  int hedge_workers = 4;
+  bool deadline_fail_fast = true;
+
+  static ResilienceOptions FromProperties(const Properties& props);
+};
+
+/// Counters the decorator exposes for the runner's series/summary lines.
+struct ResilienceStats {
+  BreakerStats breaker;
+  uint64_t hedges_sent = 0;    ///< hedge requests issued
+  uint64_t hedges_won = 0;     ///< hedge finished first with a usable answer
+  uint64_t hedges_wasted = 0;  ///< hedge finished after the primary (its
+                               ///< result cancelled/discarded) or failed
+  uint64_t deadline_rejects = 0;  ///< ops failed fast on an expired deadline
+};
+
+/// The overload-tolerance layer over the cloud-store path, as a `kv::Store`
+/// decorator stacked *above* fault injection (so the breaker sees injected
+/// throttle bursts exactly as it would see real 503s):
+///
+///   ClientTxnStore -> ResilientStore -> FaultInjectingStore -> SimCloudStore
+///
+/// Three mechanisms, each gated by the ambient `OpContext`:
+///
+///  1. *Deadline fail-fast*: once the per-transaction deadline has passed,
+///     every further request fails immediately with `Timeout` instead of
+///     paying another RPC round trip the caller can no longer use.
+///  2. *Circuit breaking*: one rolling-window breaker per backend partition
+///     (per cloud container).  Open breakers reject arrivals with
+///     `Status::Unavailable` carrying a `retry_after_us=` hint, so the retry
+///     loop cools down instead of hammering the saturated container.
+///  3. *Hedged reads*: an idempotent Get/Scan whose primary has not answered
+///     within the (p95-adaptive) hedge delay issues one duplicate request
+///     and takes the first usable answer.  Mutations — lock puts, TSR puts,
+///     deletes of the transaction protocol above — are never hedged, by
+///     construction: only `Get`/`Scan` ever reach the hedging path.
+///
+/// Exempt sections (`OpExemptScope`, installed by the transaction library
+/// around post-commit-point cleanup) bypass all three: a committed
+/// transaction's roll-forward must not be cut off mid-flight just because
+/// its deadline expired, and hedging it would duplicate mutations.
+class ResilientStore : public Store {
+ public:
+  /// `backends` must match the partitioning of the store below (the cloud
+  /// profile's container count) so each breaker fences one real backend.
+  ResilientStore(std::shared_ptr<Store> base, ResilienceOptions options,
+                 int backends);
+  ~ResilientStore() override;
+
+  Status Get(const std::string& key, std::string* value,
+             uint64_t* etag = nullptr) override;
+  Status Put(const std::string& key, std::string_view value,
+             uint64_t* etag_out = nullptr) override;
+  Status ConditionalPut(const std::string& key, std::string_view value,
+                        uint64_t expected_etag,
+                        uint64_t* etag_out = nullptr) override;
+  Status Delete(const std::string& key) override;
+  Status ConditionalDelete(const std::string& key,
+                           uint64_t expected_etag) override;
+  Status Scan(const std::string& start_key, size_t limit,
+              std::vector<ScanEntry>* out) override;
+  size_t Count() const override;
+
+  ResilienceStats stats() const;
+  /// True while any backend's breaker is Open — the brownout trigger.
+  bool AnyBreakerOpen() const {
+    return breakers_ != nullptr && breakers_->AnyOpen();
+  }
+  CircuitBreakerSet* breakers() { return breakers_.get(); }
+  const ResilienceOptions& options() const { return options_; }
+
+  /// The hedge delay the next hedged read would use (exposed for tests).
+  uint64_t CurrentHedgeDelayUs() const;
+
+ private:
+  /// Result of one read-class request (Scan fills `entries`, Get the rest).
+  struct ReadResult {
+    Status status;
+    std::string value;
+    uint64_t etag = 0;
+    std::vector<ScanEntry> entries;
+  };
+  using ReadFn = std::function<Status(Store&, ReadResult*)>;
+
+  /// Rendezvous between a hedged read's primary (on a pool worker) and its
+  /// caller; heap-allocated and shared so the caller may return with the
+  /// hedge's answer while the stalled primary is still in flight.
+  struct HedgeCell {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool primary_done = false;
+    int winner = 0;  // 0 = undecided, 1 = primary, 2 = hedge
+    ReadResult primary;
+  };
+
+  /// Tiny fixed worker pool running hedged primaries, so a caller whose
+  /// primary is stuck behind a latency spike can take the hedge's answer
+  /// and move on.
+  class WorkerPool {
+   public:
+    ~WorkerPool();
+    void Start(int workers);
+    void Submit(std::function<void()> fn);
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+  };
+
+  /// Deadline + breaker admission shared by every op.  On admission `*b`
+  /// (may stay null) and `*probe` describe the breaker ticket to settle via
+  /// `OnResult`; a non-OK return is the fail-fast status.
+  Status Preflight(const std::string& key, CircuitBreaker** b, bool* probe);
+
+  /// A usable answer callers take as final: everything except the
+  /// infrastructure failures the breaker counts (throttle/timeout/IO).
+  /// NotFound or a lost CAS is the backend *working*.
+  static bool Definitive(const Status& s) {
+    return !CircuitBreaker::CountsAsFailure(s);
+  }
+
+  Status RunRead(const std::string& key, const ReadFn& op, ReadResult* out);
+  Status HedgedRead(const std::string& key, const ReadFn& op,
+                    CircuitBreaker* b, bool probe, ReadResult* out);
+
+  void RecordReadSampleUs(uint64_t us);
+
+  const std::shared_ptr<Store> base_;
+  const ResilienceOptions options_;
+  std::unique_ptr<CircuitBreakerSet> breakers_;  // null when breaker is off
+
+  std::atomic<uint64_t> hedges_sent_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> hedges_wasted_{0};
+  std::atomic<uint64_t> deadline_rejects_{0};
+
+  /// Recent primary-read latencies feeding the adaptive hedge delay.
+  mutable std::mutex samples_mu_;
+  std::vector<uint64_t> read_samples_us_;
+  size_t samples_next_ = 0;
+
+  /// Last member: destroyed (joined) first, before `base_` goes away.
+  WorkerPool pool_;
+};
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_RESILIENT_STORE_H_

@@ -75,6 +75,8 @@ std::string TextExporter::Export(const RunSummary& summary,
         << "\n";
     out << "[" << op.name << "], 99thPercentileLatency(us), " << op.p99_latency_us
         << "\n";
+    out << "[" << op.name << "], 99.9thPercentileLatency(us), "
+        << op.p999_latency_us << "\n";
     for (const auto& [code, count] : op.return_counts) {
       out << "[" << op.name << "], Return=" << code << ", " << count << "\n";
     }
@@ -131,6 +133,7 @@ std::string JsonExporter::Export(const RunSummary& summary,
     out << "\"p50_us\":" << op.p50_latency_us << ",";
     out << "\"p95_us\":" << op.p95_latency_us << ",";
     out << "\"p99_us\":" << op.p99_latency_us << ",";
+    out << "\"p999_us\":" << op.p999_latency_us << ",";
     out << "\"returns\":{";
     bool first_code = true;
     for (const auto& [code, count] : op.return_counts) {

@@ -105,6 +105,7 @@ OpStats Measurements::SnapshotCell(const Series& cell, std::string name) const {
   s.p50_latency_us = cell.histogram.ValueAtQuantile(0.50);
   s.p95_latency_us = cell.histogram.ValueAtQuantile(0.95);
   s.p99_latency_us = cell.histogram.ValueAtQuantile(0.99);
+  s.p999_latency_us = cell.histogram.ValueAtQuantile(0.999);
   for (size_t c = 0; c < cell.returns.size(); ++c) {
     if (cell.returns[c] == 0) continue;
     s.return_counts[Status::CodeName(static_cast<Status::Code>(c))] =

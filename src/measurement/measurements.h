@@ -27,6 +27,7 @@ struct OpStats {
   int64_t p50_latency_us = 0;
   int64_t p95_latency_us = 0;
   int64_t p99_latency_us = 0;
+  int64_t p999_latency_us = 0;
   /// Count of completions per status code name ("OK", "NotFound", ...);
   /// the analogue of YCSB's `Return=<code>` lines.
   std::map<std::string, uint64_t> return_counts;

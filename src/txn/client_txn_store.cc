@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/latency_model.h"
 #include "common/logging.h"
+#include "common/op_context.h"
 
 namespace ycsbt {
 namespace txn {
@@ -157,7 +158,10 @@ class ClientTxn : public Transaction {
       if (!s.IsConflict()) {
         // Ambiguous commit point: the reply was lost, so the TSR may or may
         // not be in the store.  The TSR key is the atomic arbiter — re-read
-        // it until the outcome is known before touching any lock.
+        // it until the outcome is known before touching any lock.  Exempt
+        // from deadline/breaker fail-fast: cutting the settle loop short
+        // abandons a possibly-committed transaction to recovery.
+        OpExemptScope settle_exempt;
         Status rs = SettleAmbiguousCommit(tsr_key, &committed_after_all);
         if (!rs.ok()) return rs;  // abandoned as crashed; recovery settles it
         store_->ambiguous_commits_.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +180,14 @@ class ClientTxn : public Transaction {
         return Status::Aborted("commit denied: " + s.ToString());
       }
     }
+
+    // Past the commit point: the transaction is durably committed, and
+    // everything below is cleanup (roll-forward, TSR delete).  Exempt from
+    // deadline/breaker fail-fast — abandoning it would be *safe* (the TSR
+    // arbitrates recovery) but turns every overloaded commit into recovery
+    // churn for later readers, and hedging/fencing these mutations is
+    // exactly what the resilience layer must never do to committed work.
+    OpExemptScope cleanup_exempt;
 
     if (Crash(CrashPoint::kAfterTsrPut)) {
       // Died at the commit point: durably committed, nothing applied.

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/op_context.h"
+#include "common/retry_policy.h"
 
 namespace ycsbt {
 namespace cloud {
@@ -105,6 +107,60 @@ TEST(SimCloudStoreTest, SaturationBeyondQueueBoundThrottles) {
   }
   EXPECT_GT(rate_limited, 0);
   EXPECT_EQ(store.stats().throttled, static_cast<uint64_t>(rate_limited));
+}
+
+TEST(SimCloudStoreTest, QueueWaitBeyondThePropagatedDeadlineRejectsImmediately) {
+  // A saturated container whose queue wait exceeds the caller's remaining
+  // deadline must reject the request as RateLimited *now* — sleeping out a
+  // delay the caller can no longer use just burns a doomed txn's time.
+  CloudProfile p = FastProfile();
+  p.read_latency_median_us = 0.0;
+  p.write_latency_median_us = 0.0;
+  p.latency_floor_us = 0.0;
+  p.container_rate_limit = 50.0;        // 20ms of queue delay per token
+  p.container_burst_fraction = 0.05;    // ~2-token burst, drained instantly
+  p.max_queue_delay_us = 10'000'000.0;  // the server itself would queue
+  SimCloudStore store(p);
+  store.Put("k", "v");
+
+  // With the deadline installed up front the tight loop never sleeps: the
+  // burst tokens are admitted instantly, and the first request that would
+  // owe a 20ms queue wait is rejected on the spot.  (No self-paced drain
+  // phase — a drain sleep that overshoots under CI load would let the
+  // bucket refill and the saturation evaporate.)
+  OpDeadlineScope deadline(100);  // 0.1ms budget vs a 20ms queue wait
+  std::string value;
+  Status s = Status::OK();
+  Stopwatch watch;
+  int admitted = 0;
+  for (int i = 0; i < 10 && s.ok(); ++i) {
+    s = store.Get("k", &value);
+    if (s.ok()) ++admitted;
+  }
+  EXPECT_TRUE(s.IsRateLimited()) << s.ToString();
+  EXPECT_GT(admitted, 0);  // the burst itself was admitted
+  // Rejected up front, not after sleeping out the queue delay.
+  EXPECT_LT(watch.ElapsedMicros(), 10'000u);
+  // The rejection carries the server-suggested wait for the retry loop.
+  EXPECT_GT(RetryAfterUsHint(s), 0u);
+  EXPECT_EQ(store.stats().throttled, 1u);
+}
+
+TEST(SimCloudStoreTest, GenerousDeadlineStillWaitsOutTheQueue) {
+  CloudProfile p = FastProfile();
+  p.read_latency_median_us = 0.0;
+  p.write_latency_median_us = 0.0;
+  p.latency_floor_us = 0.0;
+  p.container_rate_limit = 1000.0;
+  p.max_queue_delay_us = 10'000'000.0;
+  SimCloudStore store(p);
+  store.Put("k", "v");
+  std::string value;
+  for (int i = 0; i < 200; ++i) store.Get("k", &value);
+
+  OpDeadlineScope deadline(5'000'000);  // 5s: plenty for a ~1ms wait
+  ASSERT_TRUE(store.Get("k", &value).ok());
+  EXPECT_GT(store.stats().queue_delayed, 0u);
 }
 
 TEST(SimCloudStoreTest, PerOutcomeCountersPartitionRequests) {

@@ -120,5 +120,89 @@ TEST(RetryStateTest, DisabledPolicyExhaustsImmediately) {
   EXPECT_TRUE(state.Exhausted(1, 0));
 }
 
+TEST(RetryAfterHintTest, ParsesTheEmbeddedWait) {
+  EXPECT_EQ(RetryAfterUsHint(Status::RateLimited("container busy; retry_after_us=1234")),
+            1234u);
+  EXPECT_EQ(RetryAfterUsHint(Status::Unavailable("breaker open; retry_after_us=50000")),
+            50000u);
+  EXPECT_EQ(RetryAfterUsHint(Status::RateLimited("no hint here")), 0u);
+  EXPECT_EQ(RetryAfterUsHint(Status::OK()), 0u);
+}
+
+TEST(RetryStateTest, ThrottleClassWaitsTheCooldownNotTheLadder) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 100'000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  p.throttle_cooldown_us = 5000;
+  RetryState state(p);
+  Random64 rng(1);
+  EXPECT_EQ(state.NextBackoffUs(rng, Status::RateLimited("503")), 5000u);
+  EXPECT_EQ(state.NextBackoffUs(rng, Status::Unavailable("breaker open")), 5000u);
+}
+
+TEST(RetryStateTest, ServerSuggestedWaitOverridesASmallerCooldown) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.decorrelated_jitter = false;
+  p.throttle_cooldown_us = 1000;
+  RetryState state(p);
+  Random64 rng(1);
+  EXPECT_EQ(state.NextBackoffUs(
+                rng, Status::RateLimited("busy; retry_after_us=8000")),
+            8000u);
+  // A hint below the cooldown never shortens the wait.
+  EXPECT_EQ(state.NextBackoffUs(
+                rng, Status::RateLimited("busy; retry_after_us=10")),
+            1000u);
+}
+
+TEST(RetryStateTest, ThrottleWaitsDoNotAdvanceTheExponentialLadder) {
+  // Regression for the throttle-class backoff: a cooldown in the middle of
+  // the schedule must not consume a ladder step — backing off from a
+  // saturated container is not congestion probing.
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 100'000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  p.throttle_cooldown_us = 7777;
+  RetryState state(p);
+  Random64 rng(1);
+  EXPECT_EQ(state.NextBackoffUs(rng), 100u);
+  EXPECT_EQ(state.NextBackoffUs(rng, Status::RateLimited("503")), 7777u);
+  EXPECT_EQ(state.NextBackoffUs(rng, Status::RateLimited("503")), 7777u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 200u);  // ladder resumed where it was
+}
+
+TEST(RetryStateTest, ThrottleJitterStaysWithinAQuarter) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.decorrelated_jitter = true;
+  p.throttle_cooldown_us = 1000;
+  RetryState state(p);
+  Random64 rng(42);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t wait = state.NextBackoffUs(rng, Status::RateLimited("503"));
+    EXPECT_GE(wait, 1000u);
+    EXPECT_LE(wait, 1250u);
+  }
+}
+
+TEST(RetryPolicyTest, ThrottleCooldownDefaultsToTheBreakerCooldown) {
+  Properties props;
+  props.Set("breaker.cooldown_us", "40000");
+  EXPECT_EQ(RetryPolicy::FromProperties(props).throttle_cooldown_us, 40000u);
+  // An explicit retry-side setting wins.
+  props.Set("retry.throttle_cooldown_us", "600");
+  EXPECT_EQ(RetryPolicy::FromProperties(props).throttle_cooldown_us, 600u);
+  // And with neither set, the baked-in default applies.
+  EXPECT_EQ(RetryPolicy::FromProperties(Properties()).throttle_cooldown_us,
+            25000u);
+}
+
 }  // namespace
 }  // namespace ycsbt

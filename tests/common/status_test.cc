@@ -58,6 +58,18 @@ TEST(StatusTest, RetryableCodes) {
   EXPECT_FALSE(Status::InvalidArgument().IsRetryable());
 }
 
+TEST(StatusTest, UnavailableIsRetryableThrottleClass) {
+  Status s = Status::Unavailable("breaker open");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_TRUE(s.IsThrottle());
+  EXPECT_STREQ(s.CodeName(), "Unavailable");
+  // The throttle class is exactly { RateLimited, Unavailable }.
+  EXPECT_TRUE(Status::RateLimited().IsThrottle());
+  EXPECT_FALSE(Status::Timeout().IsThrottle());
+  EXPECT_FALSE(Status::Conflict().IsThrottle());
+}
+
 TEST(StatusTest, EqualityComparesCodesOnly) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
   EXPECT_FALSE(Status::NotFound() == Status::Conflict());

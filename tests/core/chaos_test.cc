@@ -241,6 +241,188 @@ TEST(ChaosTest, FaultInjectionIsDeterministicUnderAFixedSeed) {
   EXPECT_EQ(a.crashes, b.crashes);
 }
 
+TEST(ChaosTest, BreakerLifecycleIsDeterministicUnderSustainedThrottle) {
+  // Sustained injected throttle bursts against the breaker with its
+  // *count-based* cooldown: the whole Open -> Half-Open -> (probe fails,
+  // re-open | probes succeed, re-close) lifecycle is a pure function of the
+  // seeded fault schedule, so two identical runs replay identical
+  // BREAKER-*/SHED counters — and the economy never loses a cent.
+  auto run = [](RunResult* result, std::string* report) {
+    Properties p = ChaosBase();
+    p.Set("threads", "1");
+    p.Set("operationcount", "800");
+    p.Set("txn.lease_us", "0");
+    p.Set("fault.seed", "31337");
+    p.Set("fault.throttle_rate", "0.01");
+    p.Set("fault.throttle_burst", "6");
+    EnableRetries(p);
+    p.Set("retry.throttle_cooldown_us", "200");  // fast cooldown at test scale
+    p.Set("breaker.enabled", "true");
+    p.Set("breaker.window", "8");
+    p.Set("breaker.min_samples", "4");
+    p.Set("breaker.failure_ratio", "0.5");
+    p.Set("breaker.cooldown_us", "10000000");  // clock out of the picture:
+    p.Set("breaker.cooldown_rejects", "4");    // the reject count cools down
+    p.Set("breaker.probes", "2");
+    p.Set("shed.enabled", "true");
+    p.Set("shed.max_inflight", "1");  // a trickle still reaches the breaker
+    p.Set("shed.drop_reads", "true");
+    ASSERT_TRUE(RunBenchmark(p, result, report).ok());
+  };
+
+  RunResult a;
+  std::string report;
+  run(&a, &report);
+
+  // The full lifecycle actually happened under sustained throttle...
+  EXPECT_TRUE(a.resilience_enabled);
+  EXPECT_GT(a.breaker_opens, 0u) << "sustained throttle must trip the breaker";
+  EXPECT_GT(a.breaker_fast_fails, 0u);
+  EXPECT_GT(a.breaker_probes, 0u) << "the count-based cooldown must probe";
+  EXPECT_GT(a.breaker_recloses, 0u)
+      << "once the burst drains, probes must re-close the breaker";
+  EXPECT_TRUE(a.shed_enabled);
+  EXPECT_GT(a.shed_txns, 0u) << "brownout must shed while the breaker is open";
+  EXPECT_GT(a.shed_reads, 0u) << "read-only transactions are dropped first";
+  EXPECT_EQ(a.hedges_sent, 0u);  // hedging stayed off
+
+  // ...without breaking the run's accounting or the economy.
+  EXPECT_EQ(a.operations, a.committed + a.failed);
+  EXPECT_GT(a.committed, 0u);
+  EXPECT_TRUE(a.validation.performed);
+  EXPECT_TRUE(a.validation.passed);
+  EXPECT_DOUBLE_EQ(a.validation.anomaly_score, 0.0);
+
+  // Summary lines and count series in the text exporter...
+  EXPECT_NE(report.find("[BREAKER OPENS], "), std::string::npos) << report;
+  EXPECT_NE(report.find("[BREAKER FAST-FAILS], "), std::string::npos);
+  EXPECT_NE(report.find("[BREAKER PROBES], "), std::string::npos);
+  EXPECT_NE(report.find("[BREAKER RECLOSES], "), std::string::npos);
+  EXPECT_NE(report.find("[SHED TXNS], "), std::string::npos);
+  EXPECT_NE(report.find("[BREAKER-OPEN], Operations, "), std::string::npos);
+  EXPECT_NE(report.find("[SHED], Operations, "), std::string::npos);
+
+  // ... and the JSON exporter.
+  std::string json = JsonExporter::Export(a.MakeSummary(), a.op_stats);
+  EXPECT_NE(json.find("\"BREAKER OPENS\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"SHED TXNS\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"BREAKER-OPEN\""), std::string::npos);
+
+  // Same seed, same lifecycle: every overload-tolerance counter replays.
+  RunResult b;
+  run(&b, nullptr);
+  EXPECT_EQ(a.breaker_opens, b.breaker_opens);
+  EXPECT_EQ(a.breaker_fast_fails, b.breaker_fast_fails);
+  EXPECT_EQ(a.breaker_probes, b.breaker_probes);
+  EXPECT_EQ(a.breaker_recloses, b.breaker_recloses);
+  EXPECT_EQ(a.shed_txns, b.shed_txns);
+  EXPECT_EQ(a.shed_reads, b.shed_reads);
+  EXPECT_EQ(a.operations, b.operations);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_TRUE(b.validation.passed);
+}
+
+TEST(ChaosTest, HedgedReadsAbsorbLatencySpikesDeterministically) {
+  // Latency spikes (which stall but never fail) against hedged reads with a
+  // fixed delay far below the spike: every spiked primary read loses to its
+  // hedge, the run's tail detaches from the spikes, and — because spikes do
+  // not alter control flow — two same-seed runs replay identical HEDGE-*
+  // counters with an untouched economy.
+  auto run = [](RunResult* result, std::string* report) {
+    Properties p = ChaosBase();
+    p.Set("threads", "1");
+    p.Set("operationcount", "400");
+    p.Set("txn.lease_us", "0");
+    p.Set("fault.seed", "31337");
+    p.Set("fault.latency_spike_rate", "0.02");
+    p.Set("fault.latency_spike_us", "10000");  // 10ms spike vs 2ms hedge delay
+    p.Set("hedge.enabled", "true");
+    p.Set("hedge.delay_us", "2000");
+    p.Set("hedge.workers", "8");
+    ASSERT_TRUE(RunBenchmark(p, result, report).ok());
+  };
+
+  RunResult a;
+  std::string report;
+  run(&a, &report);
+
+  EXPECT_TRUE(a.resilience_enabled);
+  EXPECT_GT(a.hedges_sent, 0u) << "spiked primaries must trigger hedges";
+  EXPECT_GT(a.hedges_won, 0u)
+      << "with spike >> delay, hedges must beat stalled primaries";
+  EXPECT_EQ(a.breaker_opens, 0u);  // spikes are slowness, not failure
+
+  EXPECT_EQ(a.operations, a.committed + a.failed);
+  EXPECT_TRUE(a.validation.performed);
+  EXPECT_TRUE(a.validation.passed)
+      << "a won hedge must be indistinguishable from a fast primary";
+  EXPECT_DOUBLE_EQ(a.validation.anomaly_score, 0.0);
+
+  EXPECT_NE(report.find("[HEDGES SENT], "), std::string::npos) << report;
+  EXPECT_NE(report.find("[HEDGES WON], "), std::string::npos);
+  EXPECT_NE(report.find("[HEDGE-SENT], Operations, "), std::string::npos);
+  std::string json = JsonExporter::Export(a.MakeSummary(), a.op_stats);
+  EXPECT_NE(json.find("\"HEDGES SENT\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"HEDGE-SENT\""), std::string::npos);
+
+  RunResult b;
+  run(&b, nullptr);
+  EXPECT_EQ(a.hedges_sent, b.hedges_sent);
+  EXPECT_EQ(a.hedges_won, b.hedges_won);
+  EXPECT_EQ(a.hedges_wasted, b.hedges_wasted);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_TRUE(b.validation.passed);
+}
+
+TEST(ChaosTest, BrownoutShedsInsteadOfStallingOnASaturatedCloud) {
+  // The CI brownout scenario: CEW against the WAS profile with the
+  // container rate limit cut hard, so the cloud store itself rejects queue
+  // waits as RateLimited.  The breaker must trip, the brownout layer must
+  // shed load (reads first) instead of letting threads grind, the watchdog
+  // must see progress (no stall flags), and validation must still balance.
+  Properties p = ChaosBase();
+  p.Set("db", "txn+was");
+  p.Set("threads", "8");
+  p.Set("operationcount", "600");
+  p.Set("cloud.latency_scale", "0.01");
+  p.Set("cloud.rate_limit", "300");
+  p.Set("cloud.max_queue_delay_us", "10000");  // saturation rejects fast
+  EnableRetries(p);
+  p.Set("retry.throttle_cooldown_us", "500");
+  p.Set("breaker.enabled", "true");
+  p.Set("breaker.window", "16");
+  p.Set("breaker.min_samples", "8");
+  p.Set("breaker.failure_ratio", "0.5");
+  p.Set("breaker.cooldown_us", "5000");
+  p.Set("breaker.probes", "2");
+  p.Set("shed.enabled", "true");
+  p.Set("shed.max_inflight", "2");
+  p.Set("status.interval", "0.1");
+  p.Set("status.stall_windows", "3");
+
+  RunResult result;
+  std::string report;
+  ASSERT_TRUE(RunBenchmark(p, &result, &report).ok());
+
+  EXPECT_TRUE(result.resilience_enabled);
+  EXPECT_GT(result.breaker_opens, 0u)
+      << "a rate-limited container must trip its breaker";
+  EXPECT_TRUE(result.shed_enabled);
+  EXPECT_GT(result.shed_txns, 0u) << "overload must shed, not queue";
+  EXPECT_EQ(result.stall_events, 0u)
+      << "graceful degradation must look like progress to the watchdog";
+  EXPECT_EQ(result.operations, result.committed + result.failed);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_TRUE(result.validation.performed);
+  EXPECT_TRUE(result.validation.passed)
+      << "shedding and fast-failing must never corrupt the economy";
+  EXPECT_DOUBLE_EQ(result.validation.anomaly_score, 0.0);
+  EXPECT_NE(report.find("[BREAKER OPENS], "), std::string::npos) << report;
+  EXPECT_NE(report.find("[SHED TXNS], "), std::string::npos);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace ycsbt

@@ -29,6 +29,7 @@ std::vector<OpStats> SampleOps() {
   read.p50_latency_us = 1500;
   read.p95_latency_us = 2100;
   read.p99_latency_us = 4000;
+  read.p999_latency_us = 21000;
   read.return_counts["OK"] = 1110103;
   OpStats idle;
   idle.name = "NEVER-RAN";
@@ -48,6 +49,8 @@ TEST(TextExporterTest, MatchesListing3Shape) {
   EXPECT_NE(out.find("[READ], AverageLatency(us), 1522.26"), std::string::npos);
   EXPECT_NE(out.find("[READ], MinLatency(us), 1174"), std::string::npos);
   EXPECT_NE(out.find("[READ], MaxLatency(us), 165508"), std::string::npos);
+  EXPECT_NE(out.find("[READ], 99.9thPercentileLatency(us), 21000"),
+            std::string::npos);
   EXPECT_NE(out.find("[READ], Return=OK, 1110103"), std::string::npos);
 }
 
