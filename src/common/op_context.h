@@ -15,8 +15,9 @@ namespace ycsbt {
 /// `retry.deadline_us`); every layer below — `TxnDB`, `ClientTxnStore`, the
 /// resilience decorator, `SimCloudStore` — reads the same thread-local, so a
 /// doomed transaction stops issuing RPCs mid-flight instead of timing out N
-/// more times.  Hedge workers re-install the submitting thread's context
-/// with `OpContextRestoreScope` so the deadline survives the thread hop.
+/// more times.  Hedge and fan-out workers carry the submitting thread's
+/// context across the hop with the `OpContext::Snapshot()` /
+/// `OpContextAdoptScope` pair so the deadline survives the thread hop.
 ///
 /// `exempt` marks sections that must keep issuing requests even past the
 /// deadline or through an open breaker: the post-commit-point cleanup of the
@@ -29,6 +30,12 @@ struct OpContext {
   uint64_t deadline_ns = 0;
   /// Deadline/breaker enforcement suspended (post-commit-point cleanup).
   bool exempt = false;
+
+  /// Captures the calling thread's ambient context, to be re-installed on
+  /// another thread with `OpContextAdoptScope` (the Snapshot/Adopt pair the
+  /// fan-out executor and the hedge workers use).  Defined after the
+  /// thread-local below.
+  static OpContext Snapshot();
 };
 
 namespace internal {
@@ -36,6 +43,8 @@ inline thread_local OpContext tls_op_context;
 }  // namespace internal
 
 inline const OpContext& CurrentOpContext() { return internal::tls_op_context; }
+
+inline OpContext OpContext::Snapshot() { return internal::tls_op_context; }
 
 /// True when the calling thread is inside an enforcement-exempt section.
 inline bool OpExempt() { return internal::tls_op_context.exempt; }
@@ -92,21 +101,29 @@ class OpExemptScope {
   OpContext saved_;
 };
 
-/// RAII: re-installs a context captured on another thread (hedge workers).
-class OpContextRestoreScope {
+/// RAII: adopts a context captured with `OpContext::Snapshot()` on another
+/// thread, restoring the worker's own context on destruction.  This is the
+/// second half of the Snapshot/Adopt pair: any code that moves an RPC onto a
+/// pool thread (the fan-out executor's workers, `ResilientStore`'s hedge
+/// workers) must adopt the issuing thread's snapshot, or the RPC silently
+/// runs with no deadline and no exempt marking.
+class OpContextAdoptScope {
  public:
-  explicit OpContextRestoreScope(const OpContext& ctx)
+  explicit OpContextAdoptScope(const OpContext& ctx)
       : saved_(internal::tls_op_context) {
     internal::tls_op_context = ctx;
   }
-  ~OpContextRestoreScope() { internal::tls_op_context = saved_; }
+  ~OpContextAdoptScope() { internal::tls_op_context = saved_; }
 
-  OpContextRestoreScope(const OpContextRestoreScope&) = delete;
-  OpContextRestoreScope& operator=(const OpContextRestoreScope&) = delete;
+  OpContextAdoptScope(const OpContextAdoptScope&) = delete;
+  OpContextAdoptScope& operator=(const OpContextAdoptScope&) = delete;
 
  private:
   OpContext saved_;
 };
+
+/// Former name of `OpContextAdoptScope`.
+using OpContextRestoreScope = OpContextAdoptScope;
 
 }  // namespace ycsbt
 

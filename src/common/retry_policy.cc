@@ -13,6 +13,15 @@ uint64_t RetryAfterUsHint(const Status& failure) {
   return std::strtoull(msg.c_str() + pos + sizeof(kTag) - 1, nullptr, 10);
 }
 
+uint64_t DecorrelatedJitterUs(Random64& rng, uint64_t base, uint64_t cap,
+                              uint64_t* prev) {
+  if (base == 0) return 0;
+  uint64_t hi = std::max(base + 1, *prev * 3);
+  uint64_t next = std::min(base + rng.Uniform(hi - base), cap);
+  *prev = std::max(next, base);
+  return next;
+}
+
 RetryPolicy RetryPolicy::FromProperties(const Properties& props) {
   RetryPolicy p;
   p.max_attempts =
@@ -53,11 +62,7 @@ uint64_t RetryState::NextBackoffUs(Random64& rng, const Status& failure) {
   if (base == 0) return 0;
   uint64_t next;
   if (policy_.decorrelated_jitter) {
-    // sleep = min(cap, uniform(base, prev * 3)); successive sleeps are
-    // correlated only through the previous sleep, not the attempt number.
-    uint64_t hi = std::max(base + 1, prev_us_ * 3);
-    next = std::min(base + rng.Uniform(hi - base), policy_.max_backoff_us);
-    prev_us_ = std::max(next, base);
+    next = DecorrelatedJitterUs(rng, base, policy_.max_backoff_us, &prev_us_);
   } else {
     // Deterministic ladder: base, base*m, base*m^2, ... capped.
     next = std::min(prev_us_, policy_.max_backoff_us);

@@ -15,6 +15,17 @@ namespace ycsbt {
 /// the message carries no hint.
 uint64_t RetryAfterUsHint(const Status& failure);
 
+/// One step of the AWS-style *decorrelated jitter* schedule:
+/// `sleep = min(cap, base + uniform(0, max(base+1, *prev * 3) - base))`,
+/// with `*prev` updated to the drawn sleep (floored at `base`).  Successive
+/// sleeps are correlated only through the previous sleep, never the attempt
+/// number, which is what breaks up convoys of clients that failed at the
+/// same instant.  Shared by the transaction retry loop's backoff ladder and
+/// the txn library's lock-wait delay (a fixed lock-wait sleep re-collides
+/// contending writers forever).  Returns `0` when `base == 0`.
+uint64_t DecorrelatedJitterUs(Random64& rng, uint64_t base, uint64_t cap,
+                              uint64_t* prev);
+
 /// Client-side retry discipline for transactions that fail with a retryable
 /// status (`Status::IsRetryable()`): bounded attempts, exponential backoff
 /// with decorrelated jitter, and an overall per-transaction deadline.

@@ -166,11 +166,15 @@ bool ClosedEconomyWorkload::DoTransactionReadModifyWrite(DB& db,
   std::string key1 = BuildKeyName(k1);
   std::string key2 = BuildKeyName(k2);
 
-  FieldMap rec1, rec2;
-  if (!db.Read(table_, key1, nullptr, &rec1).ok()) return false;
-  if (!db.Read(table_, key2, nullptr, &rec2).ok()) return false;
+  // Both snapshot reads in one batch: with a fan-out executor their round
+  // trips overlap; semantically identical to two sequential Reads.
+  std::vector<MultiReadRow> rows;
+  db.MultiRead(table_, {key1, key2}, nullptr, &rows);
+  if (!rows[0].status.ok() || !rows[1].status.ok()) return false;
   int64_t bal1, bal2;
-  if (!ParseBalance(rec1, &bal1) || !ParseBalance(rec2, &bal2)) return false;
+  if (!ParseBalance(rows[0].fields, &bal1) || !ParseBalance(rows[1].fields, &bal2)) {
+    return false;
+  }
 
   if (!WriteBalance(db, table_, key1, bal1 - 1).ok()) return false;
   return WriteBalance(db, table_, key2, bal2 + 1).ok();

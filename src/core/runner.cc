@@ -76,6 +76,13 @@ RunSummary RunResult::MakeSummary() const {
     summary.extra.emplace_back("WAL AVG BATCH", avg);
     summary.extra.emplace_back("WAL MAX BATCH", std::to_string(wal_max_batch));
   }
+  if (fanout_batches != 0) {
+    summary.extra.emplace_back("FANOUT BATCHES", std::to_string(fanout_batches));
+    summary.extra.emplace_back("FANOUT ITEMS", std::to_string(fanout_items));
+    char favg[32];
+    std::snprintf(favg, sizeof(favg), "%.2f", fanout_avg_width);
+    summary.extra.emplace_back("FANOUT AVG WIDTH", favg);
+  }
   summary.intervals = intervals;
   return summary;
 }
@@ -388,6 +395,10 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   bool track_wal = engine != nullptr && engine->wal_enabled();
   if (track_wal) engine->DrainWalStats();
 
+  // Likewise the fan-out executor: drop batches the load phase issued.
+  const std::shared_ptr<RpcExecutor>& fanout = factory_->rpc_executor();
+  if (fanout != nullptr) fanout->DrainStats();
+
   Stopwatch run_watch;
   start_gate.CountDown();
 
@@ -574,6 +585,19 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                                   wal.sync_latency_us, Status::Code::kOk);
     measurements_->MergeHistogram(measurements_->RegisterOp("WAL-BATCH"),
                                   wal.batch_records, Status::Code::kOk);
+  }
+
+  if (fanout != nullptr) {
+    // Fold the run window's batch widths into the shared series so both
+    // exporters render RPC-FANOUT with full percentile lines.
+    FanoutStats fs = fanout->DrainStats();
+    result->fanout_batches = fs.batches;
+    result->fanout_items = fs.items;
+    result->fanout_avg_width = fs.width.Mean();
+    if (fs.batches != 0) {
+      measurements_->MergeHistogram(measurements_->RegisterOp("RPC-FANOUT"),
+                                    fs.width, Status::Code::kOk);
+    }
   }
 
   result->op_stats = measurements_->Snapshot();

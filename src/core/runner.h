@@ -116,6 +116,12 @@ struct RunResult {
   double wal_avg_batch = 0.0;   ///< mean records per batch
   int64_t wal_max_batch = 0;    ///< largest batch observed
 
+  // RPC fan-out accounting for the run window (all zero unless
+  // `txn.fanout_threads > 0` and some multi-key phase actually batched).
+  uint64_t fanout_batches = 0;    ///< ParallelForEach calls that fanned out
+  uint64_t fanout_items = 0;      ///< total items across those batches
+  double fanout_avg_width = 0.0;  ///< mean items per batch
+
   ValidationResult validation;
   std::vector<OpStats> op_stats;
   /// Per-window progress trajectory (empty unless the run had a status

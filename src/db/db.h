@@ -22,6 +22,13 @@ struct ScanRow {
   FieldMap fields;
 };
 
+/// One row of a `DB::MultiRead` result: each key succeeds or fails
+/// independently (a missing key is that row's NotFound, never a batch error).
+struct MultiReadRow {
+  Status status;
+  FieldMap fields;
+};
+
 /// The YCSB "DB client" abstraction (paper Fig 1), extended per YCSB+T §IV-A
 /// with transaction demarcation.
 ///
@@ -43,6 +50,22 @@ class DB {
   /// Reads one record.  `fields` selects a projection; nullptr = all fields.
   virtual Status Read(const std::string& table, const std::string& key,
                       const std::vector<std::string>* fields, FieldMap* result) = 0;
+
+  /// Reads every key of `keys` with one call, filling `rows` (resized to
+  /// match) with independent per-key outcomes.  Semantically identical to a
+  /// sequence of `Read` calls — including transactional read-set membership
+  /// — but bindings with a batched path overlap the round trips.  The
+  /// default is the sequential loop.
+  virtual void MultiRead(const std::string& table,
+                         const std::vector<std::string>& keys,
+                         const std::vector<std::string>* fields,
+                         std::vector<MultiReadRow>* rows) {
+    rows->clear();
+    rows->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*rows)[i].status = Read(table, keys[i], fields, &(*rows)[i].fields);
+    }
+  }
 
   /// Reads up to `record_count` records in key order starting at `start_key`.
   virtual Status Scan(const std::string& table, const std::string& start_key,

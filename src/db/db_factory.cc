@@ -58,6 +58,19 @@ void DBFactory::MaybeAddResilience() {
   front_store_ = resilient_store_;
 }
 
+void DBFactory::MaybeAttachExecutor() {
+  int threads = static_cast<int>(props_.GetInt("txn.fanout_threads", 0));
+  if (threads <= 0) return;
+  int max_inflight = static_cast<int>(props_.GetInt("txn.max_inflight", 0));
+  // Same seed the workload generators use, so one `seed` property pins the
+  // entire run (worker RNG draws included).
+  uint64_t seed = props_.GetUint("seed", 0x5EEDBA5Eull);
+  rpc_executor_ = std::make_shared<RpcExecutor>(threads, max_inflight, seed);
+  if (cloud_ != nullptr) cloud_->set_executor(rpc_executor_);
+  if (local_engine_ != nullptr) local_engine_->set_executor(rpc_executor_);
+  if (resilient_store_ != nullptr) resilient_store_->set_executor(rpc_executor_);
+}
+
 Status DBFactory::BuildBase(const std::string& base_name) {
   if (base_name == "memkv") {
     front_store_ = MakeLocalEngine();
@@ -103,6 +116,7 @@ Status DBFactory::Init() {
     if (!s.ok()) return s;
     MaybeInjectFaults();
     MaybeAddResilience();
+    MaybeAttachExecutor();
 
     txn::TxnOptions options;
     std::string isolation = props_.Get("txn.isolation", "snapshot");
@@ -114,6 +128,22 @@ Status DBFactory::Init() {
     options.lock_lease_us = props_.GetUint("txn.lease_us", options.lock_lease_us);
     options.cleanup_tsr = props_.GetBool("txn.cleanup_tsr", true);
     options.crash_injector = fault_store_.get();  // null when faults are off
+
+    options.lock_wait_jitter = props_.GetBool("txn.lock_wait_jitter", true);
+    options.lock_wait_delay_us =
+        props_.GetUint("txn.lock_wait_delay_us", options.lock_wait_delay_us);
+    options.lock_wait_max_delay_us = props_.GetUint(
+        "txn.lock_wait_max_delay_us", options.lock_wait_delay_us * 8);
+    options.seed = props_.GetUint("seed", 0x5EEDBA5Eull);
+
+    std::string lock_mode = props_.Get("txn.lock_acquire_mode", "ordered");
+    if (lock_mode == "nowait") {
+      options.lock_acquire_mode = txn::TxnOptions::LockAcquireMode::kNoWait;
+    } else if (lock_mode != "ordered") {
+      return Status::InvalidArgument("unknown txn.lock_acquire_mode: " +
+                                     lock_mode);
+    }
+    options.executor = rpc_executor_;  // null when txn.fanout_threads == 0
 
     std::shared_ptr<txn::TimestampSource> ts;
     std::string ts_kind = props_.Get("txn.timestamps", "hlc");
@@ -154,6 +184,7 @@ Status DBFactory::Init() {
   }
   MaybeInjectFaults();
   MaybeAddResilience();
+  MaybeAttachExecutor();
   initialized_ = true;
   return Status::OK();
 }

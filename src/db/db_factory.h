@@ -6,6 +6,7 @@
 
 #include "cloud/sim_cloud_store.h"
 #include "common/properties.h"
+#include "common/rpc_executor.h"
 #include "db/db.h"
 #include "kv/fault_injecting_store.h"
 #include "kv/instrumented_store.h"
@@ -37,7 +38,15 @@ namespace ycsbt {
 /// `cloud.max_queue_delay_us`,
 /// `txn.isolation` (snapshot|serializable), `txn.lease_us`,
 /// `txn.timestamps` (hlc|oracle), `txn.oracle_rtt_us`, `txn.cleanup_tsr`,
-/// `2pl.lock_timeout_us`, `basicdb.delay_us`.
+/// `txn.fanout_threads`, `txn.max_inflight`, `txn.lock_acquire_mode`
+/// (ordered|nowait), `txn.lock_wait_jitter`, `txn.lock_wait_delay_us`,
+/// `txn.lock_wait_max_delay_us`, `2pl.lock_timeout_us`, `basicdb.delay_us`.
+///
+/// When `txn.fanout_threads > 0` a shared `RpcExecutor` is built (worker
+/// RNGs seeded from the run's `seed` property) and attached to the cloud
+/// store, the local engine, the resilience layer and the transaction
+/// library, so multi-key phases issue their independent RPCs in parallel
+/// (DESIGN.md §10).
 ///
 /// When any `fault.*` rate is non-zero (see `kv::FaultOptions`) the base
 /// store is wrapped in a `kv::FaultInjectingStore` — constructed *disarmed*;
@@ -75,6 +84,10 @@ class DBFactory {
   /// Non-null iff the binding runs on the local engine (directly or below
   /// decorators) — used to drain WAL durability stats into the measurements.
   kv::ShardedStore* local_engine() const { return local_engine_.get(); }
+  /// Non-null iff `txn.fanout_threads > 0` — used to drain fan-out stats.
+  const std::shared_ptr<RpcExecutor>& rpc_executor() const {
+    return rpc_executor_;
+  }
 
  private:
   Status BuildBase(const std::string& base_name);
@@ -95,6 +108,11 @@ class DBFactory {
   /// `MaybeInjectFaults` so the breaker observes injected faults.
   void MaybeAddResilience();
 
+  /// Builds the shared fan-out executor when `txn.fanout_threads > 0` and
+  /// attaches it to every layer with a batched path.  Call after the store
+  /// stack is assembled.
+  void MaybeAttachExecutor();
+
   Properties props_;
   std::string name_;
   std::shared_ptr<kv::Store> front_store_;
@@ -102,6 +120,7 @@ class DBFactory {
   std::shared_ptr<kv::FaultInjectingStore> fault_store_;
   std::shared_ptr<kv::ResilientStore> resilient_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;
+  std::shared_ptr<RpcExecutor> rpc_executor_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;
   txn::ClientTxnStore* client_txn_store_ = nullptr;  // owned via txn_kv_
   uint64_t basic_delay_us_ = 0;

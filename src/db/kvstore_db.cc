@@ -12,6 +12,26 @@ Status KvStoreDB::Read(const std::string& table, const std::string& key,
   return DecodeFieldsProjected(data, fields, result);
 }
 
+void KvStoreDB::MultiRead(const std::string& table,
+                          const std::vector<std::string>& keys,
+                          const std::vector<std::string>* fields,
+                          std::vector<MultiReadRow>* rows) {
+  std::vector<std::string> composed;
+  composed.reserve(keys.size());
+  for (const auto& key : keys) composed.push_back(ComposeKey(table, key));
+  std::vector<kv::MultiGetResult> raw;
+  store_->MultiGet(composed, &raw);
+  rows->clear();
+  rows->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MultiReadRow& row = (*rows)[i];
+    row.status = raw[i].status;
+    if (row.status.ok()) {
+      row.status = DecodeFieldsProjected(raw[i].value, fields, &row.fields);
+    }
+  }
+}
+
 Status KvStoreDB::Scan(const std::string& table, const std::string& start_key,
                        size_t record_count, const std::vector<std::string>* fields,
                        std::vector<ScanRow>* result) {

@@ -29,6 +29,9 @@ class KvStoreDB : public DB {
 
   Status Read(const std::string& table, const std::string& key,
               const std::vector<std::string>* fields, FieldMap* result) override;
+  void MultiRead(const std::string& table, const std::vector<std::string>& keys,
+                 const std::vector<std::string>* fields,
+                 std::vector<MultiReadRow>* rows) override;
   Status Scan(const std::string& table, const std::string& start_key,
               size_t record_count, const std::vector<std::string>* fields,
               std::vector<ScanRow>* result) override;

@@ -13,6 +13,7 @@ MeasuredDB::MeasuredDB(std::unique_ptr<DB> inner, Measurements* measurements)
 
 void MeasuredDB::ResolveHandles() {
   ops_.read = measurements_->RegisterOp(opname::kRead);
+  ops_.multiread = measurements_->RegisterOp(opname::kMultiRead);
   ops_.scan = measurements_->RegisterOp(opname::kScan);
   ops_.update = measurements_->RegisterOp(opname::kUpdate);
   ops_.insert = measurements_->RegisterOp(opname::kInsert);
@@ -41,6 +42,25 @@ Status MeasuredDB::Read(const std::string& table, const std::string& key,
   Stopwatch watch;
   Status s = inner_->Read(table, key, fields, result);
   return Record(ops_.read, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
+}
+
+void MeasuredDB::MultiRead(const std::string& table,
+                           const std::vector<std::string>& keys,
+                           const std::vector<std::string>* fields,
+                           std::vector<MultiReadRow>* rows) {
+  Stopwatch watch;
+  inner_->MultiRead(table, keys, fields, rows);
+  // One MULTIREAD sample per batch; its status is the first per-row failure
+  // (individual rows keep their own statuses for the caller).
+  Status batch;
+  for (const auto& row : *rows) {
+    if (!row.status.ok()) {
+      batch = row.status;
+      break;
+    }
+  }
+  Record(ops_.multiread, std::move(batch),
+         static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Scan(const std::string& table, const std::string& start_key,

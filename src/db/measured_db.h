@@ -12,6 +12,7 @@ namespace ycsbt {
 /// Operation-series names emitted by MeasuredDB.
 namespace opname {
 inline constexpr const char kRead[] = "READ";
+inline constexpr const char kMultiRead[] = "MULTIREAD";
 inline constexpr const char kScan[] = "SCAN";
 inline constexpr const char kUpdate[] = "UPDATE";
 inline constexpr const char kInsert[] = "INSERT";
@@ -48,6 +49,9 @@ class MeasuredDB : public DB {
 
   Status Read(const std::string& table, const std::string& key,
               const std::vector<std::string>* fields, FieldMap* result) override;
+  void MultiRead(const std::string& table, const std::vector<std::string>& keys,
+                 const std::vector<std::string>* fields,
+                 std::vector<MultiReadRow>* rows) override;
   Status Scan(const std::string& table, const std::string& start_key,
               size_t record_count, const std::vector<std::string>* fields,
               std::vector<ScanRow>* result) override;
@@ -65,9 +69,9 @@ class MeasuredDB : public DB {
   DB* inner() const { return inner_.get(); }
 
  private:
-  /// Resolved handles for the eight series this wrapper emits.
+  /// Resolved handles for the nine series this wrapper emits.
   struct OpHandles {
-    OpId read, scan, update, insert, del, start, commit, abort;
+    OpId read, multiread, scan, update, insert, del, start, commit, abort;
   };
 
   void ResolveHandles();

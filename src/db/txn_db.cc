@@ -18,6 +18,33 @@ Status TxnDB::Read(const std::string& table, const std::string& key,
   return DecodeFieldsProjected(data, fields, result);
 }
 
+void TxnDB::MultiRead(const std::string& table,
+                      const std::vector<std::string>& keys,
+                      const std::vector<std::string>* fields,
+                      std::vector<MultiReadRow>* rows) {
+  if (txn_ == nullptr) {
+    // Auto-commit path: no transaction to batch under; plain loop.
+    DB::MultiRead(table, keys, fields, rows);
+    return;
+  }
+  std::vector<std::string> composed;
+  composed.reserve(keys.size());
+  for (const auto& key : keys) {
+    composed.push_back(KvStoreDB::ComposeKey(table, key));
+  }
+  std::vector<txn::TxReadResult> raw;
+  txn_->MultiRead(composed, &raw);
+  rows->clear();
+  rows->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MultiReadRow& row = (*rows)[i];
+    row.status = raw[i].status;
+    if (row.status.ok()) {
+      row.status = DecodeFieldsProjected(raw[i].value, fields, &row.fields);
+    }
+  }
+}
+
 Status TxnDB::Scan(const std::string& table, const std::string& start_key,
                    size_t record_count, const std::vector<std::string>* fields,
                    std::vector<ScanRow>* result) {

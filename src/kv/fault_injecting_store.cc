@@ -176,6 +176,66 @@ Status FaultInjectingStore::ConditionalDelete(const std::string& key,
   return s;
 }
 
+void FaultInjectingStore::MultiGet(const std::vector<std::string>& keys,
+                                   std::vector<MultiGetResult>* results) {
+  results->clear();
+  results->resize(keys.size());
+  // Gate every key in item order BEFORE anything goes down: the ticket
+  // sequence (and the shared throttle-burst drain) must not depend on how
+  // the base store schedules the surviving sub-batch across pool threads.
+  std::vector<std::string> admitted;
+  std::vector<size_t> admitted_index;
+  admitted.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Status s = BeginRequest();
+    if (!s.ok()) {
+      (*results)[i].status = s;
+      continue;
+    }
+    admitted.push_back(keys[i]);
+    admitted_index.push_back(i);
+  }
+  if (admitted.empty()) return;
+  std::vector<MultiGetResult> sub;
+  base_->MultiGet(admitted, &sub);
+  for (size_t j = 0; j < sub.size(); ++j) {
+    (*results)[admitted_index[j]] = std::move(sub[j]);
+  }
+}
+
+void FaultInjectingStore::MultiWrite(const std::vector<WriteOp>& ops,
+                                     std::vector<WriteResult>* results) {
+  results->clear();
+  results->resize(ops.size());
+  std::vector<WriteOp> admitted;
+  std::vector<size_t> admitted_index;
+  admitted.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Status s = BeginRequest();
+    if (!s.ok()) {
+      (*results)[i].status = s;
+      continue;
+    }
+    admitted.push_back(ops[i]);
+    admitted_index.push_back(i);
+  }
+  if (!admitted.empty()) {
+    std::vector<WriteResult> sub;
+    base_->MultiWrite(admitted, &sub);
+    for (size_t j = 0; j < sub.size(); ++j) {
+      (*results)[admitted_index[j]] = std::move(sub[j]);
+    }
+  }
+  // Lost-reply draws also run in item order, after the whole sub-batch
+  // settled, for the same determinism reason.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    WriteResult& r = (*results)[i];
+    if (r.status.ok() && LoseReply()) {
+      r.status = Status::Timeout("injected: reply lost");
+    }
+  }
+}
+
 Status FaultInjectingStore::Scan(const std::string& start_key, size_t limit,
                                  std::vector<ScanEntry>* out) {
   Status s = BeginRequest();

@@ -115,6 +115,14 @@ class FaultInjectingStore : public Store, public CrashInjector {
                            uint64_t expected_etag) override;
   Status Scan(const std::string& start_key, size_t limit,
               std::vector<ScanEntry>* out) override;
+  /// Batch ops: every item pays its own fault gate (and, for mutations, its
+  /// own lost-reply draw), evaluated sequentially in item order so the
+  /// ticket schedule stays deterministic; only the admitted subset is passed
+  /// down as a (possibly concurrent) sub-batch.
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<MultiGetResult>* results) override;
+  void MultiWrite(const std::vector<WriteOp>& ops,
+                  std::vector<WriteResult>* results) override;
   size_t Count() const override;
 
   // CrashInjector interface (consulted by the transaction library).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/rpc_executor.h"
 
 namespace ycsbt {
 namespace kv {
@@ -151,9 +152,9 @@ Status ResilientStore::HedgedRead(const std::string& key, const ReadFn& op,
   // The primary runs on a pool worker carrying this thread's OpContext, so
   // the caller can adopt the hedge's answer and return while the stalled
   // primary is still in flight.
-  OpContext ctx = CurrentOpContext();
+  OpContext ctx = OpContext::Snapshot();
   pool_.Submit([this, cell, op, b, probe, ctx] {
-    OpContextRestoreScope scope(ctx);
+    OpContextAdoptScope scope(ctx);
     Stopwatch watch;
     ReadResult result;
     result.status = op(*base_, &result);
@@ -253,6 +254,109 @@ Status ResilientStore::Scan(const std::string& start_key, size_t limit,
       &result);
   if (s.ok() && out != nullptr) *out = std::move(result.entries);
   return s;
+}
+
+void ResilientStore::MultiGet(const std::vector<std::string>& keys,
+                              std::vector<MultiGetResult>* results) {
+  if (options_.hedge_enabled) {
+    // Hedging must see every request individually (the straggler protection
+    // is per-RPC), so the batch decomposes into per-key hedged reads.  With
+    // an executor attached they run concurrently — the fan-out then happens
+    // here rather than in the cloud store below.
+    results->clear();
+    results->resize(keys.size());
+    auto run_one = [this, &keys, results](size_t i) {
+      MultiGetResult& r = (*results)[i];
+      const std::string& key = keys[i];
+      ReadResult read;
+      r.status = RunRead(
+          key,
+          [key](Store& store, ReadResult* out) {
+            return store.Get(key, &out->value, &out->etag);
+          },
+          &read);
+      if (r.status.ok()) {
+        r.value = std::move(read.value);
+        r.etag = read.etag;
+      }
+      return r.status;
+    };
+    if (executor_ != nullptr) {
+      executor_->ParallelForEach(keys.size(), run_one);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) run_one(i);
+    }
+    return;
+  }
+
+  // No hedging: admit every key in item order, pass the admitted subset down
+  // as one batch, settle the breaker tickets in item order afterwards.  The
+  // ordered admission/settlement keeps the breaker lifecycle a pure function
+  // of the request stream even when the sub-batch fans out below.
+  results->clear();
+  results->resize(keys.size());
+  std::vector<std::string> admitted;
+  std::vector<size_t> admitted_index;
+  std::vector<CircuitBreaker*> admitted_breaker;
+  std::vector<bool> admitted_probe;
+  admitted.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CircuitBreaker* b = nullptr;
+    bool probe = false;
+    Status s = Preflight(keys[i], &b, &probe);
+    if (!s.ok()) {
+      (*results)[i].status = s;
+      continue;
+    }
+    admitted.push_back(keys[i]);
+    admitted_index.push_back(i);
+    admitted_breaker.push_back(b);
+    admitted_probe.push_back(probe);
+  }
+  if (admitted.empty()) return;
+  std::vector<MultiGetResult> sub;
+  base_->MultiGet(admitted, &sub);
+  for (size_t j = 0; j < sub.size(); ++j) {
+    if (admitted_breaker[j] != nullptr) {
+      admitted_breaker[j]->OnResult(sub[j].status, admitted_probe[j]);
+    }
+    (*results)[admitted_index[j]] = std::move(sub[j]);
+  }
+}
+
+void ResilientStore::MultiWrite(const std::vector<WriteOp>& ops,
+                                std::vector<WriteResult>* results) {
+  // Mutations are never hedged; the batch analogue of the single-op
+  // mutation path is ordered admission, one sub-batch, ordered settlement.
+  results->clear();
+  results->resize(ops.size());
+  std::vector<WriteOp> admitted;
+  std::vector<size_t> admitted_index;
+  std::vector<CircuitBreaker*> admitted_breaker;
+  std::vector<bool> admitted_probe;
+  admitted.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    CircuitBreaker* b = nullptr;
+    bool probe = false;
+    Status s = Preflight(ops[i].key, &b, &probe);
+    if (!s.ok()) {
+      (*results)[i].status = s;
+      continue;
+    }
+    admitted.push_back(ops[i]);
+    admitted_index.push_back(i);
+    admitted_breaker.push_back(b);
+    admitted_probe.push_back(probe);
+  }
+  if (admitted.empty()) return;
+  std::vector<WriteResult> sub;
+  base_->MultiWrite(admitted, &sub);
+  for (size_t j = 0; j < sub.size(); ++j) {
+    if (admitted_breaker[j] != nullptr) {
+      admitted_breaker[j]->OnResult(sub[j].status, admitted_probe[j]);
+    }
+    (*results)[admitted_index[j]] = std::move(sub[j]);
+  }
 }
 
 // Mutations: breaker + deadline admission only.  They never enter the

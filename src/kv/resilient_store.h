@@ -18,6 +18,9 @@
 #include "kv/store.h"
 
 namespace ycsbt {
+
+class RpcExecutor;
+
 namespace kv {
 
 /// Configuration of the overload-tolerance decorator.  `breaker.*` is the
@@ -102,7 +105,22 @@ class ResilientStore : public Store {
                            uint64_t expected_etag) override;
   Status Scan(const std::string& start_key, size_t limit,
               std::vector<ScanEntry>* out) override;
+  /// Batch ops: every item pays its own breaker/deadline admission and
+  /// settles its own breaker ticket, in item order, so the breaker's
+  /// rolling-window lifecycle stays deterministic under fan-out.  With
+  /// hedging on, a `MultiGet` decomposes into per-key hedged reads (run on
+  /// the shared executor when one is attached) so each request keeps its
+  /// straggler protection; mutations are batched but never hedged.
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<MultiGetResult>* results) override;
+  void MultiWrite(const std::vector<WriteOp>& ops,
+                  std::vector<WriteResult>* results) override;
   size_t Count() const override;
+
+  /// Attaches the shared fan-out executor used by hedged `MultiGet`.
+  void set_executor(std::shared_ptr<RpcExecutor> executor) {
+    executor_ = std::move(executor);
+  }
 
   ResilienceStats stats() const;
   /// True while any backend's breaker is Open — the brownout trigger.
@@ -174,6 +192,7 @@ class ResilientStore : public Store {
   const std::shared_ptr<Store> base_;
   const ResilienceOptions options_;
   std::unique_ptr<CircuitBreakerSet> breakers_;  // null when breaker is off
+  std::shared_ptr<RpcExecutor> executor_;        // null = sequential batches
 
   std::atomic<uint64_t> hedges_sent_{0};
   std::atomic<uint64_t> hedges_won_{0};

@@ -7,9 +7,44 @@
 #include <atomic>
 
 #include "common/random.h"
+#include "common/rpc_executor.h"
 
 namespace ycsbt {
 namespace kv {
+
+void Store::MultiGet(const std::vector<std::string>& keys,
+                     std::vector<MultiGetResult>* results) {
+  results->clear();
+  results->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MultiGetResult& r = (*results)[i];
+    r.status = Get(keys[i], &r.value, &r.etag);
+  }
+}
+
+void Store::MultiWrite(const std::vector<WriteOp>& ops,
+                       std::vector<WriteResult>* results) {
+  results->clear();
+  results->resize(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    WriteResult& r = (*results)[i];
+    r.status = ApplyWriteOp(*this, ops[i], &r.etag);
+  }
+}
+
+Status ApplyWriteOp(Store& store, const WriteOp& op, uint64_t* etag_out) {
+  switch (op.kind) {
+    case WriteOp::Kind::kPut:
+      return store.Put(op.key, op.value, etag_out);
+    case WriteOp::Kind::kConditionalPut:
+      return store.ConditionalPut(op.key, op.value, op.expected_etag, etag_out);
+    case WriteOp::Kind::kDelete:
+      return store.Delete(op.key);
+    case WriteOp::Kind::kConditionalDelete:
+      return store.ConditionalDelete(op.key, op.expected_etag);
+  }
+  return Status::InvalidArgument("unknown WriteOp kind");
+}
 
 ShardedStore::ShardedStore(StoreOptions options) : options_(std::move(options)) {
   if (options_.num_shards < 1) options_.num_shards = 1;
@@ -287,6 +322,36 @@ size_t ShardedStore::Count() const {
     total += shard_ptr->map.size();
   }
   return total;
+}
+
+void ShardedStore::MultiGet(const std::vector<std::string>& keys,
+                            std::vector<MultiGetResult>* results) {
+  if (executor_ == nullptr || !executor_->enabled() || keys.size() < 2) {
+    Store::MultiGet(keys, results);
+    return;
+  }
+  results->clear();
+  results->resize(keys.size());
+  executor_->ParallelForEach(keys.size(), [this, &keys, results](size_t i) {
+    MultiGetResult& r = (*results)[i];
+    r.status = Get(keys[i], &r.value, &r.etag);
+    return r.status;
+  });
+}
+
+void ShardedStore::MultiWrite(const std::vector<WriteOp>& ops,
+                              std::vector<WriteResult>* results) {
+  if (executor_ == nullptr || !executor_->enabled() || ops.size() < 2) {
+    Store::MultiWrite(ops, results);
+    return;
+  }
+  results->clear();
+  results->resize(ops.size());
+  executor_->ParallelForEach(ops.size(), [this, &ops, results](size_t i) {
+    WriteResult& r = (*results)[i];
+    r.status = ApplyWriteOp(*this, ops[i], &r.etag);
+    return r.status;
+  });
 }
 
 }  // namespace kv

@@ -14,6 +14,9 @@
 #include "kv/wal.h"
 
 namespace ycsbt {
+
+class RpcExecutor;
+
 namespace kv {
 
 /// Sentinel etag meaning "the key must not exist" in conditional writes —
@@ -24,6 +27,68 @@ inline constexpr uint64_t kEtagAbsent = 0;
 struct ScanEntry {
   std::string key;
   std::string value;
+  uint64_t etag = 0;
+};
+
+/// Per-key result row of a `MultiGet`.
+struct MultiGetResult {
+  Status status;
+  std::string value;
+  uint64_t etag = 0;
+};
+
+/// One mutation of a `MultiWrite` batch.  Each op is the exact analogue of
+/// the corresponding single-key method; the batch only removes the
+/// round-trip-per-item cost, never adds cross-key atomicity (that remains
+/// the transaction library's job).
+struct WriteOp {
+  enum class Kind : uint8_t {
+    kPut,
+    kConditionalPut,
+    kDelete,
+    kConditionalDelete,
+  };
+
+  Kind kind = Kind::kPut;
+  std::string key;
+  std::string value;           ///< Puts only.
+  uint64_t expected_etag = 0;  ///< Conditional ops only.
+
+  static WriteOp Put(std::string key, std::string value) {
+    WriteOp op;
+    op.kind = Kind::kPut;
+    op.key = std::move(key);
+    op.value = std::move(value);
+    return op;
+  }
+  static WriteOp CondPut(std::string key, std::string value,
+                         uint64_t expected_etag) {
+    WriteOp op;
+    op.kind = Kind::kConditionalPut;
+    op.key = std::move(key);
+    op.value = std::move(value);
+    op.expected_etag = expected_etag;
+    return op;
+  }
+  static WriteOp Delete(std::string key) {
+    WriteOp op;
+    op.kind = Kind::kDelete;
+    op.key = std::move(key);
+    return op;
+  }
+  static WriteOp CondDelete(std::string key, uint64_t expected_etag) {
+    WriteOp op;
+    op.kind = Kind::kConditionalDelete;
+    op.key = std::move(key);
+    op.expected_etag = expected_etag;
+    return op;
+  }
+};
+
+/// Per-op result row of a `MultiWrite`.
+struct WriteResult {
+  Status status;
+  /// New etag for (conditional) puts that succeeded.
   uint64_t etag = 0;
 };
 
@@ -90,9 +155,30 @@ class Store {
   virtual Status Scan(const std::string& start_key, size_t limit,
                       std::vector<ScanEntry>* out) = 0;
 
+  /// Reads every key of `keys`, filling `results` (resized to match) with
+  /// one independent per-key outcome; a missing key is a per-row NotFound,
+  /// never a batch failure.  The base implementation is a plain sequential
+  /// loop over `Get` — semantically the contract — which latency-simulating
+  /// stores override to issue the requests concurrently (DESIGN.md §10).
+  /// Like `Scan`, the batch is NOT atomic across keys.
+  virtual void MultiGet(const std::vector<std::string>& keys,
+                        std::vector<MultiGetResult>* results);
+
+  /// Applies every op of `ops`, filling `results` (resized to match) with
+  /// one independent per-op outcome.  Same contract as `MultiGet`: a
+  /// sequential loop by default, concurrent issue in cloud stores, no
+  /// cross-op atomicity ever.
+  virtual void MultiWrite(const std::vector<WriteOp>& ops,
+                          std::vector<WriteResult>* results);
+
   /// Number of live keys (approximate under concurrency).
   virtual size_t Count() const = 0;
 };
+
+/// Executes one `WriteOp` against `store` through the single-op interface —
+/// the shared dispatch used by the default `MultiWrite` loop and by
+/// decorators routing an already-admitted op to their base store.
+Status ApplyWriteOp(Store& store, const WriteOp& op, uint64_t* etag_out);
 
 /// The local storage engine: hash-sharded skip lists with etagged values and
 /// an optional CRC-checked write-ahead log.
@@ -128,6 +214,21 @@ class ShardedStore : public Store {
               std::vector<ScanEntry>* out) override;
   size_t Count() const override;
 
+  /// Batched forms fanned out on the shared executor when one is attached
+  /// (`txn.fanout_threads`): shards are independently locked, so per-key ops
+  /// of one batch proceed in parallel exactly like the cloud stores'
+  /// concurrent requests (DESIGN.md §10).  Null executor = the base
+  /// sequential loop.
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<MultiGetResult>* results) override;
+  void MultiWrite(const std::vector<WriteOp>& ops,
+                  std::vector<WriteResult>* results) override;
+
+  /// Attaches the shared fan-out executor used by the batched forms.
+  void set_executor(std::shared_ptr<RpcExecutor> executor) {
+    executor_ = std::move(executor);
+  }
+
   const StoreOptions& options() const { return options_; }
 
   /// True when mutations are being logged (a WAL path is configured).
@@ -158,6 +259,7 @@ class ShardedStore : public Store {
   void ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag);
 
   StoreOptions options_;
+  std::shared_ptr<RpcExecutor> executor_;  // null = sequential batches
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> etag_source_{0};
   WriteAheadLog wal_;

@@ -8,6 +8,8 @@
 #include "common/latency_model.h"
 #include "common/logging.h"
 #include "common/op_context.h"
+#include "common/retry_policy.h"
+#include "common/rpc_executor.h"
 
 namespace ycsbt {
 namespace txn {
@@ -46,8 +48,15 @@ bool LeaseExpired(const TxRecord& record, uint64_t lease_us) {
 /// One in-flight transaction; see the protocol walkthrough on ClientTxnStore.
 class ClientTxn : public Transaction {
  public:
-  ClientTxn(ClientTxnStore* store, std::string id, uint64_t start_ts)
-      : store_(store), id_(std::move(id)), start_ts_(start_ts) {}
+  /// `seq` is the store-wide transaction number, used (with the configured
+  /// seed) to give every transaction its own deterministic jitter stream.
+  ClientTxn(ClientTxnStore* store, std::string id, uint64_t start_ts,
+            uint64_t seq)
+      : store_(store),
+        id_(std::move(id)),
+        start_ts_(start_ts),
+        jitter_rng_(store->options_.seed ^
+                    (0x9E3779B97F4A7C15ull * (seq + 1))) {}
 
   ~ClientTxn() override {
     if (state_ == State::kActive) Abort();
@@ -66,31 +75,58 @@ class ClientTxn : public Transaction {
     }
 
     TxRecord record;
-    uint64_t etag;
+    uint64_t etag = kv::kEtagAbsent;
     Status s = store_->LoadRecord(key, &record, &etag);
-    if (s.IsNotFound()) {
-      reads_[key] = 0;
-      return s;
-    }
-    if (!s.ok()) return s;
+    return FinishRead(key, std::move(record), etag, std::move(s), value);
+  }
 
-    s = ResolveForRead(key, &record, &etag);
-    if (s.IsNotFound()) {
-      reads_[key] = 0;
-      return s;
+  void MultiRead(const std::vector<std::string>& keys,
+                 std::vector<TxReadResult>* results) override {
+    results->clear();
+    results->resize(keys.size());
+    if (state_ != State::kActive) {
+      for (auto& r : *results) r.status = Status::InvalidArgument("txn finished");
+      return;
     }
-    if (!s.ok()) return s;
-
-    uint64_t version_ts = 0;
-    std::string out;
-    s = VisibleVersion(record, start_ts_, &out, &version_ts);
-    if (s.IsNotFound()) {
-      reads_[key] = 0;
-      return s;
+    // Buffered writes answer locally; everything else is prefetched with one
+    // batched read so the snapshot fetches' round trips overlap.
+    std::vector<size_t> fetch_index;
+    std::vector<std::string> fetch_keys;
+    fetch_index.reserve(keys.size());
+    fetch_keys.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto wit = writes_.find(keys[i]);
+      if (wit != writes_.end()) {
+        TxReadResult& r = (*results)[i];
+        if (wit->second.is_delete) {
+          r.status = Status::NotFound(keys[i]);
+        } else {
+          r.value = wit->second.value;
+          r.status = Status::OK();
+        }
+        continue;
+      }
+      fetch_index.push_back(i);
+      fetch_keys.push_back(keys[i]);
     }
-    reads_[key] = version_ts;
-    if (value != nullptr) *value = std::move(out);
-    return Status::OK();
+    if (fetch_keys.empty()) return;
+    if (!UseBatches(fetch_keys.size())) {
+      for (size_t j = 0; j < fetch_keys.size(); ++j) {
+        TxReadResult& r = (*results)[fetch_index[j]];
+        r.status = Read(fetch_keys[j], &r.value);
+      }
+      return;
+    }
+    std::vector<LoadedRecord> loaded;
+    store_->MultiLoadRecords(fetch_keys, &loaded);
+    for (size_t j = 0; j < fetch_keys.size(); ++j) {
+      // Lock resolution (TSR lookups, recovery) stays per-key on this
+      // thread; the batch only prefetched the record fetches.
+      TxReadResult& r = (*results)[fetch_index[j]];
+      r.status = FinishRead(fetch_keys[j], std::move(loaded[j].record),
+                            loaded[j].etag, std::move(loaded[j].status),
+                            &r.value);
+    }
   }
 
   Status Write(const std::string& key, std::string_view value) override {
@@ -249,6 +285,59 @@ class ClientTxn : public Transaction {
     TxRecord record;        // the locked record as written
   };
 
+  /// Shared tail of `Read`/`MultiRead`: takes the freshly-loaded (or
+  /// prefetched) record plus its load status and finishes the snapshot read
+  /// — lock resolution, version selection, and `reads_` bookkeeping.
+  Status FinishRead(const std::string& key, TxRecord record, uint64_t etag,
+                    Status s, std::string* value) {
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    if (!s.ok()) return s;
+
+    s = ResolveForRead(key, &record, &etag);
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    if (!s.ok()) return s;
+
+    uint64_t version_ts = 0;
+    std::string out;
+    s = VisibleVersion(record, start_ts_, &out, &version_ts);
+    if (s.IsNotFound()) {
+      reads_[key] = 0;
+      return s;
+    }
+    reads_[key] = version_ts;
+    if (value != nullptr) *value = std::move(out);
+    return Status::OK();
+  }
+
+  /// True when batched store ops should replace per-key loops: an enabled
+  /// fan-out executor is configured and the batch is big enough to matter.
+  /// With no executor every phase keeps the exact sequential seed behaviour.
+  bool UseBatches(size_t items) const {
+    const std::shared_ptr<RpcExecutor>& ex = store_->options_.executor;
+    return ex != nullptr && ex->enabled() && items >= 2;
+  }
+
+  /// Bounded-politeness sleep before re-probing a busy lock.  Decorrelated
+  /// jitter (when enabled) spreads contending clients out instead of letting
+  /// a fixed delay synchronize them into convoys that re-collide on every
+  /// probe; the per-transaction RNG keeps same-seed runs identical.
+  void LockWaitSleep() {
+    const TxnOptions& opt = store_->options_;
+    uint64_t delay_us = opt.lock_wait_delay_us;
+    if (opt.lock_wait_jitter && delay_us != 0) {
+      delay_us = DecorrelatedJitterUs(jitter_rng_, opt.lock_wait_delay_us,
+                                      opt.lock_wait_max_delay_us,
+                                      &lock_wait_prev_us_);
+    }
+    if (delay_us != 0) SleepMicros(delay_us);
+  }
+
   /// Resolves a foreign lock encountered by a read: consults the owner's TSR
   /// and recovers expired locks.  Afterwards `record`/`etag` reflect a state
   /// whose committed versions are safe to read at start_ts_.
@@ -321,7 +410,7 @@ class ClientTxn : public Transaction {
       }
 
       if (attempt < max_attempts) {
-        SleepMicros(store_->options_.lock_wait_delay_us);
+        LockWaitSleep();
         continue;
       }
 
@@ -342,22 +431,95 @@ class ClientTxn : public Transaction {
     }
   }
 
-  /// Lock acquisition in global key order (deadlock-free by construction).
+  /// Lock acquisition (DESIGN.md §10).  Ordered mode (default): prefetch the
+  /// whole write set with one batched read, then CAS the lock puts
+  /// sequentially in global key order — the classical deadlock-freedom
+  /// argument needs only the *puts* ordered (every client acquires in the
+  /// same total order, so no wait cycle can form), so the reads may overlap
+  /// freely.  No-wait mode fans the whole read+CAS round out in parallel.
   Status AcquireLocks() {
     uint64_t now_us = WallMicros();
+    bool fanout = UseBatches(writes_.size());
+    if (fanout && store_->options_.lock_acquire_mode ==
+                      TxnOptions::LockAcquireMode::kNoWait) {
+      return AcquireLocksNoWait(now_us);
+    }
+    std::vector<LoadedRecord> prefetched;
+    if (fanout) {
+      std::vector<std::string> keys;
+      keys.reserve(writes_.size());
+      for (const auto& [key, pending] : writes_) keys.push_back(key);
+      store_->MultiLoadRecords(keys, &prefetched);
+    }
+    size_t index = 0;
     for (const auto& [key, pending] : writes_) {  // std::map: sorted keys
-      Status s = AcquireOne(key, pending, now_us);
+      const LoadedRecord* hint =
+          prefetched.empty() ? nullptr : &prefetched[index];
+      ++index;
+      AcquiredLock lock;
+      Status s =
+          AcquireOne(key, pending, now_us, hint, /*no_wait=*/false, &lock);
       if (!s.ok()) return s;
+      acquired_.push_back(std::move(lock));
     }
     return Status::OK();
   }
 
+  /// No-wait parallel acquisition: every key's read+CAS round is one fan-out
+  /// item.  Deadlock-free because no item ever waits on a busy lock — ANY
+  /// contention fails the round with Conflict, the caller releases whatever
+  /// locks did land, and the transaction retry loop re-runs from scratch.
+  Status AcquireLocksNoWait(uint64_t now_us) {
+    std::vector<const std::string*> keys;
+    std::vector<const PendingWrite*> pendings;
+    keys.reserve(writes_.size());
+    pendings.reserve(writes_.size());
+    for (const auto& [key, pending] : writes_) {
+      keys.push_back(&key);
+      pendings.push_back(&pending);
+    }
+    std::vector<AcquiredLock> slots(keys.size());
+    std::vector<char> held(keys.size(), 0);
+    std::vector<Status> statuses = store_->options_.executor->ParallelForEach(
+        keys.size(), [&](size_t i) {
+          Status s = AcquireOne(*keys[i], *pendings[i], now_us,
+                                /*prefetched=*/nullptr, /*no_wait=*/true,
+                                &slots[i]);
+          if (s.ok()) held[i] = 1;
+          return s;
+        });
+    Status failure;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      // Locks that DID land are tracked even when the round failed, so the
+      // caller's ReleaseLocks undoes them.
+      if (held[i] != 0) {
+        acquired_.push_back(std::move(slots[i]));
+      } else if (failure.ok() && !statuses[i].ok()) {
+        failure = statuses[i];
+      }
+    }
+    return failure;
+  }
+
+  /// One key's lock round: read (or consume the batched prefetch on the
+  /// first attempt), run the conflict checks, CAS the lock put.  On success
+  /// `*out` holds the acquired lock; the caller owns tracking it.
   Status AcquireOne(const std::string& key, const PendingWrite& pending,
-                    uint64_t now_us) {
+                    uint64_t now_us, const LoadedRecord* prefetched,
+                    bool no_wait, AcquiredLock* out) {
     for (int attempt = 0; attempt <= store_->options_.lock_wait_retries; ++attempt) {
       TxRecord record;
       uint64_t etag = kv::kEtagAbsent;
-      Status s = store_->LoadRecord(key, &record, &etag);
+      Status s;
+      if (attempt == 0 && prefetched != nullptr) {
+        // A stale prefetch is harmless: the CAS re-checks the etag, and any
+        // retry re-reads fresh.
+        s = prefetched->status;
+        record = prefetched->record;
+        etag = prefetched->etag;
+      } else {
+        s = store_->LoadRecord(key, &record, &etag);
+      }
       if (!s.ok() && !s.IsNotFound()) return s;
       bool exists = s.ok();
 
@@ -368,7 +530,13 @@ class ClientTxn : public Transaction {
           continue;  // re-read and retry
         }
         store_->lock_busy_.fetch_add(1, std::memory_order_relaxed);
-        SleepMicros(store_->options_.lock_wait_delay_us);
+        if (no_wait) {
+          // Never hold-and-wait: surface the contention immediately so the
+          // whole round can be released and retried.
+          store_->conflicts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Conflict("lock busy (no-wait) on " + key);
+        }
+        LockWaitSleep();
         continue;
       }
 
@@ -405,7 +573,7 @@ class ClientTxn : public Transaction {
       s = store_->base_->ConditionalPut(key, EncodeTxRecord(locked),
                                         exists ? etag : kv::kEtagAbsent, &new_etag);
       if (s.ok()) {
-        acquired_.push_back(AcquiredLock{key, new_etag, std::move(locked)});
+        *out = AcquiredLock{key, new_etag, std::move(locked)};
         return Status::OK();
       }
       if (!s.IsConflict()) {
@@ -415,7 +583,7 @@ class ClientTxn : public Transaction {
         uint64_t cur_etag = kv::kEtagAbsent;
         Status rl = store_->LoadRecord(key, &cur, &cur_etag);
         if (rl.ok() && cur.Locked() && cur.lock_owner == id_) {
-          acquired_.push_back(AcquiredLock{key, cur_etag, std::move(cur)});
+          *out = AcquiredLock{key, cur_etag, std::move(cur)};
           return Status::OK();
         }
         if (!rl.ok() && !rl.IsNotFound()) return s;
@@ -428,23 +596,42 @@ class ClientTxn : public Transaction {
   }
 
   /// Serializable mode: every read must still be the latest committed
-  /// version now that all write locks are held.
+  /// version now that all write locks are held.  The re-reads are pure
+  /// point lookups, so they fan out as one batch when an executor is set.
   Status ValidateReads() {
+    std::vector<std::string> keys;
+    std::vector<uint64_t> observed;
+    keys.reserve(reads_.size());
+    observed.reserve(reads_.size());
     for (const auto& [key, observed_ts] : reads_) {
       if (writes_.count(key) != 0) continue;  // re-checked by the lock CAS
+      keys.push_back(key);
+      observed.push_back(observed_ts);
+    }
+    std::vector<LoadedRecord> loaded;
+    if (UseBatches(keys.size())) {
+      store_->MultiLoadRecords(keys, &loaded);
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
       TxRecord record;
-      uint64_t etag;
-      Status s = store_->LoadRecord(key, &record, &etag);
+      uint64_t etag = kv::kEtagAbsent;
+      Status s;
+      if (!loaded.empty()) {
+        s = loaded[i].status;
+        record = std::move(loaded[i].record);
+      } else {
+        s = store_->LoadRecord(keys[i], &record, &etag);
+      }
       if (s.IsNotFound()) {
-        if (observed_ts == 0) continue;  // still absent
-        return Status::Aborted("validation: " + key + " disappeared");
+        if (observed[i] == 0) continue;  // still absent
+        return Status::Aborted("validation: " + keys[i] + " disappeared");
       }
       if (!s.ok()) return s;
       if (record.Locked()) {
-        return Status::Aborted("validation: " + key + " locked by writer");
+        return Status::Aborted("validation: " + keys[i] + " locked by writer");
       }
-      if (record.commit_ts != observed_ts) {
-        return Status::Aborted("validation: " + key + " changed");
+      if (record.commit_ts != observed[i]) {
+        return Status::Aborted("validation: " + keys[i] + " changed");
       }
     }
     return Status::OK();
@@ -471,11 +658,41 @@ class ClientTxn : public Transaction {
 
   /// Returns true only when every lock is known applied (or repaired by a
   /// reader); on false some record still holds a pending write that only
-  /// the TSR can prove committed.
+  /// the TSR can prove committed.  Past the commit point every item is an
+  /// independent conditional op, so the whole apply fans out as one batch; a
+  /// per-item failure means the same thing it does sequentially — leave that
+  /// lock to recovery.
   bool RollForward(uint64_t commit_ts) {
     bool all_applied = true;
-    for (auto& lock : acquired_) {
-      all_applied = RollForwardOne(lock, commit_ts) && all_applied;
+    if (UseBatches(acquired_.size())) {
+      std::vector<kv::WriteOp> ops;
+      ops.reserve(acquired_.size());
+      for (const auto& lock : acquired_) {
+        if (lock.record.pending_delete) {
+          ops.push_back(kv::WriteOp::CondDelete(lock.key, lock.etag));
+        } else {
+          TxRecord rolled = lock.record;
+          rolled.RollForward(commit_ts);
+          ops.push_back(
+              kv::WriteOp::CondPut(lock.key, EncodeTxRecord(rolled), lock.etag));
+        }
+      }
+      std::vector<kv::WriteResult> results;
+      store_->base_->MultiWrite(ops, &results);
+      for (size_t i = 0; i < results.size(); ++i) {
+        const Status& s = results[i].status;
+        // A Conflict means a reader recovered the lock for us after the TSR
+        // became visible — the record already carries the committed state.
+        if (!s.ok() && !s.IsConflict()) {
+          YCSBT_WARN("roll-forward of " << acquired_[i].key
+                                        << " failed: " << s.ToString());
+          all_applied = false;
+        }
+      }
+    } else {
+      for (auto& lock : acquired_) {
+        all_applied = RollForwardOne(lock, commit_ts) && all_applied;
+      }
     }
     store_->ts_source_->Observe(commit_ts);
     return all_applied;
@@ -539,19 +756,37 @@ class ClientTxn : public Transaction {
   }
 
   /// Abort path: undo every lock we planted (no TSR was written, so readers
-  /// treat the pending values as void).
+  /// treat the pending values as void).  Per-item conditional ops with no
+  /// ordering dependency, so the undo fans out as one batch.  Conflicts are
+  /// fine either way: a recovering reader already rolled us back.
   void ReleaseLocks() {
-    for (auto& lock : acquired_) {
-      if (lock.record.commit_ts == 0 && !lock.record.has_prev) {
-        // The record was created solely to carry our lock.
-        store_->base_->ConditionalDelete(lock.key, lock.etag);
-      } else {
-        TxRecord restored = lock.record;
-        restored.ClearLock();
-        store_->base_->ConditionalPut(lock.key, EncodeTxRecord(restored),
-                                      lock.etag);
+    if (UseBatches(acquired_.size())) {
+      std::vector<kv::WriteOp> ops;
+      ops.reserve(acquired_.size());
+      for (const auto& lock : acquired_) {
+        if (lock.record.commit_ts == 0 && !lock.record.has_prev) {
+          // The record was created solely to carry our lock.
+          ops.push_back(kv::WriteOp::CondDelete(lock.key, lock.etag));
+        } else {
+          TxRecord restored = lock.record;
+          restored.ClearLock();
+          ops.push_back(kv::WriteOp::CondPut(lock.key, EncodeTxRecord(restored),
+                                             lock.etag));
+        }
       }
-      // Conflicts are fine: a recovering reader already rolled us back.
+      std::vector<kv::WriteResult> results;
+      store_->base_->MultiWrite(ops, &results);
+    } else {
+      for (auto& lock : acquired_) {
+        if (lock.record.commit_ts == 0 && !lock.record.has_prev) {
+          store_->base_->ConditionalDelete(lock.key, lock.etag);
+        } else {
+          TxRecord restored = lock.record;
+          restored.ClearLock();
+          store_->base_->ConditionalPut(lock.key, EncodeTxRecord(restored),
+                                        lock.etag);
+        }
+      }
     }
     acquired_.clear();
   }
@@ -564,6 +799,11 @@ class ClientTxn : public Transaction {
   std::map<std::string, PendingWrite> writes_;  // sorted: ordered locking
   std::map<std::string, uint64_t> reads_;       // key -> observed version ts
   std::vector<AcquiredLock> acquired_;
+
+  // Decorrelated-jitter state for LockWaitSleep (seeded per transaction;
+  // only ever touched from the owning client thread).
+  Random64 jitter_rng_;
+  uint64_t lock_wait_prev_us_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -583,13 +823,14 @@ ClientTxnStore::ClientTxnStore(std::shared_ptr<kv::Store> base,
   client_id_ = buf;
 }
 
-std::string ClientTxnStore::NextTxnId() {
-  return client_id_ + "-" +
-         std::to_string(txn_counter_.fetch_add(1, std::memory_order_relaxed));
+std::string ClientTxnStore::TxnIdFor(uint64_t seq) const {
+  return client_id_ + "-" + std::to_string(seq);
 }
 
 std::unique_ptr<Transaction> ClientTxnStore::Begin() {
-  return std::make_unique<ClientTxn>(this, NextTxnId(), ts_source_->Next());
+  uint64_t seq = txn_counter_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<ClientTxn>(this, TxnIdFor(seq), ts_source_->Next(),
+                                     seq);
 }
 
 Status ClientTxnStore::LoadRecord(const std::string& key, TxRecord* record,
@@ -598,6 +839,22 @@ Status ClientTxnStore::LoadRecord(const std::string& key, TxRecord* record,
   Status s = base_->Get(key, &data, etag);
   if (!s.ok()) return s;
   return DecodeTxRecord(data, record);
+}
+
+void ClientTxnStore::MultiLoadRecords(const std::vector<std::string>& keys,
+                                      std::vector<LoadedRecord>* out) {
+  std::vector<kv::MultiGetResult> raw;
+  base_->MultiGet(keys, &raw);
+  out->clear();
+  out->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    LoadedRecord& row = (*out)[i];
+    row.etag = raw[i].etag;
+    row.status = raw[i].status;
+    if (row.status.ok()) {
+      row.status = DecodeTxRecord(raw[i].value, &row.record);
+    }
+  }
 }
 
 Status ClientTxnStore::RecoverLock(const std::string& key, TxRecord* record,

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "txn/record_codec.h"
 #include "txn/timestamp.h"
@@ -12,6 +13,14 @@
 
 namespace ycsbt {
 namespace txn {
+
+/// One prefetched row of `ClientTxnStore::MultiLoadRecords`: the decoded
+/// record (when `status` is OK) plus the etag it was read at.
+struct LoadedRecord {
+  Status status;
+  TxRecord record;
+  uint64_t etag = kv::kEtagAbsent;
+};
 
 /// The client-coordinated transaction library (the authors' system, paper
 /// §II-B and ref [28]), reimplemented over any `kv::Store` that offers
@@ -81,6 +90,13 @@ class ClientTxnStore : public TransactionalKV {
   /// Reads and decodes `key`'s record.  NotFound when the key is absent.
   Status LoadRecord(const std::string& key, TxRecord* record, uint64_t* etag);
 
+  /// Batched `LoadRecord` over `keys` via one `kv::MultiGet` (fanned out by
+  /// the store when an executor is attached).  Each row decodes
+  /// independently: a missing or undecodable key is that row's status, never
+  /// a batch failure.
+  void MultiLoadRecords(const std::vector<std::string>& keys,
+                        std::vector<LoadedRecord>* out);
+
   /// Repairs an expired foreign lock according to the owner's TSR.  On
   /// success `*record`/`*etag` hold the post-recovery state.  Returns Busy
   /// when the lock is fresh.
@@ -97,7 +113,7 @@ class ClientTxnStore : public TransactionalKV {
     return options_.tsr_prefix + txn_id;
   }
 
-  std::string NextTxnId();
+  std::string TxnIdFor(uint64_t seq) const;
 
   std::shared_ptr<kv::Store> base_;
   std::shared_ptr<TimestampSource> ts_source_;

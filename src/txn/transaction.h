@@ -12,6 +12,9 @@
 #include "kv/store.h"
 
 namespace ycsbt {
+
+class RpcExecutor;
+
 namespace txn {
 
 /// Isolation level of the client-coordinated library.
@@ -36,6 +39,37 @@ struct TxnOptions {
   /// before giving up with Aborted.
   int lock_wait_retries = 5;
   uint64_t lock_wait_delay_us = 2'000;
+
+  /// Decorrelated jitter on the lock-wait sleep (see
+  /// `DecorrelatedJitterUs`): a fixed delay synchronizes contending clients
+  /// into convoys that re-collide on every probe.  The per-transaction RNG
+  /// is seeded from `seed` and the transaction number, so same-seed
+  /// single-threaded runs replay identical sleeps.
+  bool lock_wait_jitter = true;
+  /// Cap on one jittered lock-wait sleep (8x the base delay by default;
+  /// adjusted alongside `lock_wait_delay_us` when it is configured).
+  uint64_t lock_wait_max_delay_us = 16'000;
+
+  /// Determinism seed for per-transaction randomness (lock-wait jitter).
+  uint64_t seed = 0;
+
+  /// How `AcquireLocks` orders its lock puts (DESIGN.md §10):
+  ///  - `kOrdered` (default): prefetch all write-set records with one
+  ///    `MultiGet`, then CAS the lock puts sequentially in global key order
+  ///    — the classical deadlock-freedom argument (every client acquires in
+  ///    the same total order, so no wait cycle can form).
+  ///  - `kNoWait`: lock puts fan out fully in parallel; ANY busy lock or
+  ///    lost CAS releases everything acquired and surfaces `Conflict` to the
+  ///    retry loop.  Deadlock-free by construction (nobody ever holds-and-
+  ///    waits), at the cost of more aborts under contention.
+  enum class LockAcquireMode { kOrdered, kNoWait };
+  LockAcquireMode lock_acquire_mode = LockAcquireMode::kOrdered;
+
+  /// Shared fan-out executor (`txn.fanout_threads`).  When set, the
+  /// per-key-independent commit phases — write-set prefetch, validation
+  /// re-reads, roll-forward, lock release — issue batched store ops instead
+  /// of one RPC at a time.  Null = the sequential seed behaviour.
+  std::shared_ptr<RpcExecutor> executor = nullptr;
 
   /// Key prefix for transaction status records.  It sorts above every user
   /// key (user scans never collide with it); scans from the library filter
@@ -62,6 +96,13 @@ struct TxScanEntry {
   std::string value;
 };
 
+/// One result row of a `Transaction::MultiRead` — each key succeeds or fails
+/// independently (a missing key is a per-row NotFound, never a batch error).
+struct TxReadResult {
+  Status status;
+  std::string value;
+};
+
 /// A single transaction handle.  Not thread-safe; one client thread each
 /// (the YCSB+T client model).  Obtain from `TransactionalKV::Begin()`.
 ///
@@ -76,6 +117,21 @@ class Transaction {
 
   /// Reads `key` as of start_ts (sees this transaction's own writes).
   virtual Status Read(const std::string& key, std::string* value) = 0;
+
+  /// Reads every key of `keys` as of start_ts, filling `results` (resized to
+  /// match) with one independent per-key outcome.  Every row joins the read
+  /// set exactly as a sequence of `Read` calls would; the batch form only
+  /// lets implementations prefetch the records with one `kv::MultiGet` so
+  /// the round trips overlap (DESIGN.md §10).  The default is the
+  /// semantically-equivalent sequential loop.
+  virtual void MultiRead(const std::vector<std::string>& keys,
+                         std::vector<TxReadResult>* results) {
+    results->clear();
+    results->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*results)[i].status = Read(keys[i], &(*results)[i].value);
+    }
+  }
 
   /// Buffers a write of `key`; becomes visible to others only after Commit.
   virtual Status Write(const std::string& key, std::string_view value) = 0;

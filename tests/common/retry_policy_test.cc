@@ -41,6 +41,45 @@ TEST(RetryPolicyTest, FromPropertiesClampsNonsense) {
   EXPECT_DOUBLE_EQ(p.multiplier, 1.0);
 }
 
+TEST(DecorrelatedJitterTest, ZeroBaseMeansNoSleep) {
+  Random64 rng(1);
+  uint64_t prev = 0;
+  EXPECT_EQ(DecorrelatedJitterUs(rng, 0, 1000, &prev), 0u);
+  EXPECT_EQ(prev, 0u);
+}
+
+TEST(DecorrelatedJitterTest, DrawsStayWithinBaseAndCap) {
+  Random64 rng(42);
+  uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t draw = DecorrelatedJitterUs(rng, 100, 1600, &prev);
+    EXPECT_GE(draw, 100u);
+    EXPECT_LE(draw, 1600u);
+    EXPECT_GE(prev, 100u);  // prev is floored at base
+    EXPECT_LE(prev, 1600u);
+  }
+}
+
+TEST(DecorrelatedJitterTest, SameSeedReplaysSameSequence) {
+  Random64 rng_a(7), rng_b(7);
+  uint64_t prev_a = 0, prev_b = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DecorrelatedJitterUs(rng_a, 50, 4000, &prev_a),
+              DecorrelatedJitterUs(rng_b, 50, 4000, &prev_b));
+  }
+}
+
+TEST(DecorrelatedJitterTest, SequenceActuallyVaries) {
+  Random64 rng(1234);
+  uint64_t prev = 0;
+  uint64_t first = DecorrelatedJitterUs(rng, 100, 100000, &prev);
+  bool varied = false;
+  for (int i = 0; i < 50 && !varied; ++i) {
+    varied = DecorrelatedJitterUs(rng, 100, 100000, &prev) != first;
+  }
+  EXPECT_TRUE(varied) << "50 consecutive identical jitter draws";
+}
+
 TEST(RetryStateTest, DeterministicLadderWithoutJitter) {
   RetryPolicy p;
   p.max_attempts = 10;

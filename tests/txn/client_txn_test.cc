@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/latency_model.h"
+#include "common/rpc_executor.h"
 #include "common/sync.h"
 #include "kv/instrumented_store.h"
 
@@ -369,6 +370,67 @@ TEST_F(ClientTxnTest, LoadPutThenTransactionalReadWorks) {
   ASSERT_TRUE(txn->Read("k", &value).ok());
   EXPECT_EQ(value, "loaded");
   txn->Commit();
+}
+
+TEST_F(ClientTxnTest, MultiReadMixesBufferAndStoreRows) {
+  store_->LoadPut("a", "1");
+  store_->LoadPut("b", "2");
+  auto txn = store_->Begin();
+  ASSERT_TRUE(txn->Write("c", "3").ok());
+  ASSERT_TRUE(txn->Delete("a").ok());
+  std::vector<TxReadResult> rows;
+  txn->MultiRead({"a", "b", "c", "ghost"}, &rows);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[0].status.IsNotFound());  // buffered delete wins
+  ASSERT_TRUE(rows[1].status.ok());
+  EXPECT_EQ(rows[1].value, "2");
+  ASSERT_TRUE(rows[2].status.ok());
+  EXPECT_EQ(rows[2].value, "3");  // read-your-writes
+  EXPECT_TRUE(rows[3].status.IsNotFound());
+  txn->Abort();
+}
+
+TEST_F(ClientTxnTest, MultiReadJoinsReadSetForValidation) {
+  auto store = MakeStore(TxnOptions{.isolation = Isolation::kSerializable});
+  store->LoadPut("x", "0");
+  auto txn = store->Begin();
+  std::vector<TxReadResult> rows;
+  txn->MultiRead({"x"}, &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(rows[0].status.ok());
+  // A concurrent commit to x must invalidate the batched read exactly as a
+  // plain Read would.
+  auto other = store->Begin();
+  ASSERT_TRUE(other->Write("x", "9").ok());
+  ASSERT_TRUE(other->Commit().ok());
+  ASSERT_TRUE(txn->Write("y", "1").ok());
+  EXPECT_FALSE(txn->Commit().ok());
+  EXPECT_EQ(store->stats().validation_fails, 1u);
+}
+
+TEST_F(ClientTxnTest, MultiReadWithExecutorMatchesSequentialSemantics) {
+  TxnOptions options;
+  options.executor = std::make_shared<RpcExecutor>(4);
+  auto store = MakeStore(options);
+  store->LoadPut("a", "1");
+  store->LoadPut("b", "2");
+  store->LoadPut("c", "3");
+  auto txn = store->Begin();
+  ASSERT_TRUE(txn->Write("b", "override").ok());
+  std::vector<TxReadResult> rows;
+  txn->MultiRead({"a", "b", "c", "ghost"}, &rows);
+  ASSERT_EQ(rows.size(), 4u);
+  ASSERT_TRUE(rows[0].status.ok());
+  EXPECT_EQ(rows[0].value, "1");
+  ASSERT_TRUE(rows[1].status.ok());
+  EXPECT_EQ(rows[1].value, "override");
+  ASSERT_TRUE(rows[2].status.ok());
+  EXPECT_EQ(rows[2].value, "3");
+  EXPECT_TRUE(rows[3].status.IsNotFound());
+  ASSERT_TRUE(txn->Commit().ok());
+  std::string value;
+  ASSERT_TRUE(store->ReadCommitted("b", &value).ok());
+  EXPECT_EQ(value, "override");
 }
 
 }  // namespace
