@@ -13,7 +13,7 @@ namespace {
 using namespace ycsbt;
 
 std::string Key(uint64_t i) {
-  char buf[24];
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "user%012llu",
                 static_cast<unsigned long long>(i));
   return buf;
@@ -86,6 +86,89 @@ void BM_StorePutWithWal(benchmark::State& state) {
 // 0 = buffered WAL, 1 = fdatasync per write (the paper's latency-vs-
 // durability trade-off, Section II-A).
 BENCHMARK(BM_StorePutWithWal)->Arg(0)->Arg(1);
+
+// Sorted ingest: per-key Put vs the BulkLoad fast path (pre-sorted runs
+// bypass the per-key skiplist search and write one WAL frame per batch).
+// Arguments: records to load, WAL on/off.  Each iteration ingests a fresh
+// store; setup/teardown is excluded from the timing.
+
+constexpr size_t kBulkBatch = 65536;
+
+void BM_StoreLoadPerKey(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const bool wal = state.range(1) != 0;
+  const std::string wal_path = "/tmp/ycsbt_bench_bulk_wal.log";
+  std::string value(100, 'x');
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(wal_path.c_str());
+    kv::StoreOptions options;
+    if (wal) options.wal_path = wal_path;
+    auto store = std::make_unique<kv::ShardedStore>(options);
+    if (!store->Open().ok()) {
+      state.SkipWithError("cannot open store");
+      return;
+    }
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < n; ++i) store->Put(Key(i), value);
+    state.PauseTiming();
+    store.reset();
+    std::remove(wal_path.c_str());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StoreLoadPerKey)
+    ->Args({100000, 0})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StoreBulkLoad(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const bool wal = state.range(1) != 0;
+  const std::string wal_path = "/tmp/ycsbt_bench_bulk_wal.log";
+  std::string value(100, 'x');
+  // Key(i) zero-pads, so numeric order is lexicographic order: the batches
+  // are the strictly ascending runs BulkLoad requires.
+  std::vector<std::vector<std::pair<std::string, std::string>>> batches;
+  for (uint64_t i = 0; i < n; i += kBulkBatch) {
+    auto& batch = batches.emplace_back();
+    batch.reserve(kBulkBatch);
+    for (uint64_t j = i; j < std::min(n, i + kBulkBatch); ++j) {
+      batch.emplace_back(Key(j), value);
+    }
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(wal_path.c_str());
+    kv::StoreOptions options;
+    if (wal) options.wal_path = wal_path;
+    auto store = std::make_unique<kv::ShardedStore>(options);
+    if (!store->Open().ok()) {
+      state.SkipWithError("cannot open store");
+      return;
+    }
+    state.ResumeTiming();
+    for (const auto& batch : batches) {
+      Status s = store->BulkLoad(batch);
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    state.PauseTiming();
+    store.reset();
+    std::remove(wal_path.c_str());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StoreBulkLoad)
+    ->Args({100000, 0})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ShardCountEffect(benchmark::State& state) {
   kv::StoreOptions options;

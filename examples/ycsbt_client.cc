@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/benchmark.h"
 #include "core/workload_factory.h"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   ycsbt::Properties props;
   bool transaction_phase = true;
   bool show_props = false;
+  std::vector<std::string> property_files;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -48,11 +50,14 @@ int main(int argc, char** argv) {
     if (arg == "-db") {
       props.Set("db", next());
     } else if (arg == "-P") {
-      ycsbt::Status s = props.LoadFromFile(next());
+      std::string path = next();
+      ycsbt::Status s = props.LoadFromFile(path);
       if (!s.ok()) {
-        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        std::fprintf(stderr, "error loading property file %s: %s\n",
+                     path.c_str(), s.ToString().c_str());
         return 1;
       }
+      property_files.push_back(std::move(path));
     } else if (arg == "-p") {
       std::string kv = next();
       size_t eq = kv.find('=');
@@ -91,6 +96,13 @@ int main(int argc, char** argv) {
   ycsbt::Status s = ycsbt::core::RunBenchmark(props, &result, &report);
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    // Most run failures are configuration mistakes: point at the inputs.
+    for (const std::string& path : property_files) {
+      std::fprintf(stderr, "  property file: %s\n", path.c_str());
+    }
+    if (property_files.empty()) {
+      std::fprintf(stderr, "  (no -P property file; -p/-db flags only)\n");
+    }
     return 1;
   }
   std::printf("%s", report.c_str());

@@ -7,6 +7,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
+#include "common/property_registry.h"
+
 namespace ycsbt {
 
 namespace {
@@ -57,7 +60,23 @@ Status Properties::LoadFromFile(const std::string& path) {
   if (!in) return Status::IOError("cannot open properties file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return LoadFromString(buf.str());
+  // Parse into a scratch set first so the unknown-key check sees exactly
+  // this file's keys, not everything merged so far.
+  Properties loaded;
+  Status s = loaded.LoadFromString(buf.str());
+  if (!s.ok()) return s;
+  std::vector<std::string> unknown = UnknownPropertyKeys(loaded);
+  if (!unknown.empty()) {
+    std::string joined;
+    for (const std::string& key : unknown) {
+      if (!joined.empty()) joined += ", ";
+      joined += key;
+    }
+    YCSBT_WARN("unknown propert" << (unknown.size() == 1 ? "y" : "ies")
+                                 << " in " << path << ": " << joined);
+  }
+  Merge(loaded);
+  return Status::OK();
 }
 
 bool Properties::Contains(const std::string& key) const {

@@ -1,0 +1,160 @@
+#include "common/property_registry.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace ycsbt {
+
+namespace {
+
+// Sorted list of every key the codebase reads (binary-searched).  Keep in
+// sorted order and add new keys alongside the code that reads them.
+constexpr std::string_view kKnownKeys[] = {
+    "2pl.lock_timeout_us",
+    "basicdb.delay_us",
+    "batch.size",
+    "batch.size_distribution",
+    "batchinsertproportion",
+    "batchreadproportion",
+    "breaker.cooldown_rejects",
+    "breaker.cooldown_us",
+    "breaker.enabled",
+    "breaker.failure_ratio",
+    "breaker.min_samples",
+    "breaker.probes",
+    "breaker.window",
+    "bulkload.batch",
+    "cew.transfer_accounts",
+    "cloud.client_serial_us",
+    "cloud.containers",
+    "cloud.latency_scale",
+    "cloud.max_queue_delay_us",
+    "cloud.rate_limit",
+    "dataintegrity",
+    "db",
+    "deadline.enforce",
+    "deleteproportion",
+    "dotransactions",
+    "exponential.frac",
+    "exponential.percentile",
+    "fault.crash_points",
+    "fault.crash_rate",
+    "fault.error_rate",
+    "fault.latency_spike_rate",
+    "fault.latency_spike_us",
+    "fault.lost_reply_rate",
+    "fault.seed",
+    "fault.throttle_burst",
+    "fault.throttle_rate",
+    "fieldcount",
+    "fieldlength",
+    "fieldlengthdistribution",
+    "fieldnameprefix",
+    "hedge.delay_max_us",
+    "hedge.delay_min_us",
+    "hedge.delay_us",
+    "hedge.enabled",
+    "hedge.percentile",
+    "hedge.workers",
+    "hotspotdatafraction",
+    "hotspotopnfraction",
+    "insertcount",
+    "insertorder",
+    "insertproportion",
+    "insertstart",
+    "loadthreads",
+    "loadwrapped",
+    "maxexecutiontime",
+    "maxscanlength",
+    "memkv.shards",
+    "memkv.sync_wal",
+    "memkv.wal_group_commit",
+    "memkv.wal_group_max_batch",
+    "memkv.wal_group_window_us",
+    "memkv.wal_path",
+    "minfieldlength",
+    "operationcount",
+    "rawhttp.latency_floor_us",
+    "rawhttp.latency_median_us",
+    "rawhttp.latency_sigma",
+    "readallfields",
+    "readmodifywriteproportion",
+    "readproportion",
+    "recordcount",
+    "requestdistribution",
+    "retry.backoff_initial_us",
+    "retry.backoff_max_us",
+    "retry.backoff_multiplier",
+    "retry.deadline_us",
+    "retry.jitter",
+    "retry.max_attempts",
+    "scanlengthdistribution",
+    "scanproportion",
+    "seed",
+    "shed.drop_reads",
+    "shed.enabled",
+    "shed.max_inflight",
+    "shed.queue_delay_us",
+    "shed.windows",
+    "skipload",
+    "skiprun",
+    "status.interval",
+    "status.stall_windows",
+    "suite.load",
+    "suite.name",
+    "suite.operations_per_thread",
+    "suite.output_dir",
+    "suite.repeats",
+    "table",
+    "target",
+    "threads",
+    "totalcash",
+    "txn.cleanup_tsr",
+    "txn.fanout_threads",
+    "txn.isolation",
+    "txn.lease_us",
+    "txn.lock_acquire_mode",
+    "txn.lock_wait_delay_us",
+    "txn.lock_wait_jitter",
+    "txn.max_inflight",
+    "txn.oracle_rtt_us",
+    "txn.timestamps",
+    "updateproportion",
+    "workload",
+    "writeallfields",
+    "writeskew.initial",
+    "zeropadding",
+    "zipfian.theta",
+};
+
+bool ConsumePrefix(std::string_view* s, std::string_view prefix) {
+  if (s->substr(0, prefix.size()) != prefix) return false;
+  s->remove_prefix(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+bool IsKnownPropertyKey(std::string_view key) {
+  // Suite-file wrappers validate the key they wrap.
+  if (ConsumePrefix(&key, "base.") || ConsumePrefix(&key, "sweep.")) {
+    return IsKnownPropertyKey(key);
+  }
+  if (ConsumePrefix(&key, "config.") || ConsumePrefix(&key, "mix.")) {
+    // config.<name>.<key> / mix.<name>.<key>: the axis name is free-form.
+    size_t dot = key.find('.');
+    if (dot == std::string_view::npos) return false;
+    return IsKnownPropertyKey(key.substr(dot + 1));
+  }
+  return std::binary_search(std::begin(kKnownKeys), std::end(kKnownKeys), key);
+}
+
+std::vector<std::string> UnknownPropertyKeys(const Properties& props) {
+  std::vector<std::string> unknown;
+  for (const std::string& key : props.Keys()) {
+    if (!IsKnownPropertyKey(key)) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace ycsbt

@@ -1,0 +1,29 @@
+#ifndef YCSBT_COMMON_PROPERTY_REGISTRY_H_
+#define YCSBT_COMMON_PROPERTY_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/properties.h"
+
+namespace ycsbt {
+
+/// Registry of every property key the codebase reads — the hygiene layer
+/// behind `Properties::LoadFromFile`'s unknown-key warning, which catches
+/// silent typos like `txn.fanout_thread` (missing `s`) that would otherwise
+/// fall back to defaults without a trace.
+///
+/// Keys are matched exactly, never by dotted-prefix family, so a misspelled
+/// suffix inside a known namespace is still flagged.  The only structural
+/// forms are the suite-file wrappers: `base.<key>` and `sweep.<key>` validate
+/// the wrapped key, `config.<name>.<key>` and `mix.<name>.<key>` strip the
+/// free-form axis name first, and `suite.*` control keys are ordinary exact
+/// entries.
+bool IsKnownPropertyKey(std::string_view key);
+
+/// Keys of `props` that fail `IsKnownPropertyKey`, in sorted order.
+std::vector<std::string> UnknownPropertyKeys(const Properties& props);
+
+}  // namespace ycsbt
+
+#endif  // YCSBT_COMMON_PROPERTY_REGISTRY_H_

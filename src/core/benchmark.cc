@@ -21,6 +21,7 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     LoadOptions load;
     load.threads = static_cast<int>(props.GetInt("loadthreads", threads));
     load.wrap_in_transactions = props.GetBool("loadwrapped", false);
+    load.bulk_batch = props.GetUint("bulkload.batch", 0);
     s = runner.Load(load);
     if (!s.ok()) return s;
   }

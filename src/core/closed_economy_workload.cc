@@ -44,6 +44,10 @@ Status ClosedEconomyWorkload::Init(const Properties& props) {
     return Status::InvalidArgument("totalcash must cover >= $1 per account");
   }
   initial_balance_ = total_cash_ / static_cast<int64_t>(record_count());
+  transfer_accounts_ = static_cast<int>(props.GetInt("cew.transfer_accounts", 2));
+  if (transfer_accounts_ < 2) {
+    return Status::InvalidArgument("cew.transfer_accounts must be >= 2");
+  }
   bank_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -96,6 +100,19 @@ bool ClosedEconomyWorkload::DoInsert(DB& db, ThreadState* state) {
     balance += total_cash_ - initial_balance_ * static_cast<int64_t>(record_count());
   }
   return WriteBalance(db, table_, BuildKeyName(key_num), balance).ok();
+}
+
+bool ClosedEconomyWorkload::BuildNextInsert(ThreadState* state, LoadRecord* record) {
+  uint64_t key_num = load_sequence_->Next(state->rng);
+  int64_t balance = initial_balance_;
+  if (key_num == insert_start_) {
+    balance += total_cash_ - initial_balance_ * static_cast<int64_t>(record_count());
+  }
+  record->table = table_;
+  record->key = BuildKeyName(key_num);
+  record->values.clear();
+  record->values[kBalanceField] = std::to_string(balance);
+  return true;
 }
 
 bool ClosedEconomyWorkload::DoTransactionRead(DB& db, ThreadState* state) {
@@ -157,27 +174,111 @@ bool ClosedEconomyWorkload::DoTransactionScan(DB& db, ThreadState* state) {
 
 bool ClosedEconomyWorkload::DoTransactionReadModifyWrite(DB& db,
                                                          ThreadState* state) {
-  // Transfer $1 between two distinct accounts (paper §IV-C2): the sum is
-  // invariant under any serializable execution of this operation.
-  uint64_t k1 = NextKeyNum(state->rng);
-  uint64_t k2 = k1;
-  for (int i = 0; i < 8 && k2 == k1; ++i) k2 = NextKeyNum(state->rng);
-  if (k1 == k2) return true;  // single-account economy: nothing to transfer
-  std::string key1 = BuildKeyName(k1);
-  std::string key2 = BuildKeyName(k2);
+  if (transfer_accounts_ <= 2) {
+    // Transfer $1 between two distinct accounts (paper §IV-C2): the sum is
+    // invariant under any serializable execution of this operation.
+    uint64_t k1 = NextKeyNum(state->rng);
+    uint64_t k2 = k1;
+    for (int i = 0; i < 8 && k2 == k1; ++i) k2 = NextKeyNum(state->rng);
+    if (k1 == k2) return true;  // single-account economy: nothing to transfer
+    std::string key1 = BuildKeyName(k1);
+    std::string key2 = BuildKeyName(k2);
 
-  // Both snapshot reads in one batch: with a fan-out executor their round
-  // trips overlap; semantically identical to two sequential Reads.
-  std::vector<MultiReadRow> rows;
-  db.MultiRead(table_, {key1, key2}, nullptr, &rows);
-  if (!rows[0].status.ok() || !rows[1].status.ok()) return false;
-  int64_t bal1, bal2;
-  if (!ParseBalance(rows[0].fields, &bal1) || !ParseBalance(rows[1].fields, &bal2)) {
-    return false;
+    // Both snapshot reads in one batch: with a fan-out executor their round
+    // trips overlap; semantically identical to two sequential Reads.
+    std::vector<MultiReadRow> rows;
+    db.MultiRead(table_, {key1, key2}, nullptr, &rows);
+    if (!rows[0].status.ok() || !rows[1].status.ok()) return false;
+    int64_t bal1, bal2;
+    if (!ParseBalance(rows[0].fields, &bal1) || !ParseBalance(rows[1].fields, &bal2)) {
+      return false;
+    }
+
+    if (!WriteBalance(db, table_, key1, bal1 - 1).ok()) return false;
+    return WriteBalance(db, table_, key2, bal2 + 1).ok();
   }
 
-  if (!WriteBalance(db, table_, key1, bal1 - 1).ok()) return false;
-  return WriteBalance(db, table_, key2, bal2 + 1).ok();
+  // Batched variant (`cew.transfer_accounts` > 2): one W-account transfer —
+  // the payer sends $1 to each of W-1 payees.  The per-commit sum delta is
+  // exactly (W-1) - (W-1) = 0, so Validate's drift stays exact.
+  std::vector<uint64_t> nums;
+  nums.push_back(NextKeyNum(state->rng));
+  for (int i = 1; i < transfer_accounts_; ++i) {
+    uint64_t k = nums[0];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      k = NextKeyNum(state->rng);
+      if (std::find(nums.begin(), nums.end(), k) == nums.end()) break;
+    }
+    if (std::find(nums.begin(), nums.end(), k) == nums.end()) nums.push_back(k);
+  }
+  if (nums.size() < 2) return true;  // tiny economy: nothing to transfer
+
+  std::vector<std::string> keys;
+  keys.reserve(nums.size());
+  for (uint64_t n : nums) keys.push_back(BuildKeyName(n));
+
+  std::vector<MultiReadRow> rows;
+  db.MultiRead(table_, keys, nullptr, &rows);
+  std::vector<int64_t> balances(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!rows[i].status.ok()) return false;
+    if (!ParseBalance(rows[i].fields, &balances[i])) return false;
+  }
+
+  int64_t payees = static_cast<int64_t>(keys.size()) - 1;
+  std::vector<FieldMap> values(keys.size());
+  values[0][kBalanceField] = std::to_string(balances[0] - payees);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    values[i][kBalanceField] = std::to_string(balances[i] + 1);
+  }
+  std::vector<Status> statuses;
+  db.BatchInsert(table_, keys, values, &statuses);
+  for (const Status& s : statuses) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+bool ClosedEconomyWorkload::DoTransactionBatchRead(DB& db, ThreadState* state) {
+  size_t len = NextBatchSize(state->rng);
+  std::vector<std::string> keys;
+  keys.reserve(len);
+  for (size_t i = 0; i < len; ++i) keys.push_back(BuildKeyName(NextKeyNum(state->rng)));
+  std::vector<MultiReadRow> rows;
+  db.MultiRead(table_, keys, nullptr, &rows);
+  for (const auto& row : rows) {
+    // A concurrently closed account is a legitimate NotFound, not a failure.
+    if (!row.status.ok() && !row.status.IsNotFound()) return false;
+  }
+  return true;
+}
+
+bool ClosedEconomyWorkload::DoTransactionBatchInsert(DB& db, ThreadState* state) {
+  auto* cew = static_cast<CewThreadState*>(state);
+  size_t len = NextBatchSize(state->rng);
+  std::vector<uint64_t> key_nums;
+  std::vector<std::string> keys;
+  std::vector<FieldMap> values(len);
+  key_nums.reserve(len);
+  keys.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t key_num = insert_sequence_->Next(state->rng);
+    key_nums.push_back(key_num);
+    keys.push_back(BuildKeyName(key_num));
+    // Each new account opens funded from the capture bank, like the
+    // single-op insert; money still never enters the system.
+    int64_t funding = WithdrawFromBank(initial_balance_);
+    cew->pending_withdrawn += funding;
+    values[i][kBalanceField] = std::to_string(funding);
+  }
+  std::vector<Status> statuses;
+  db.BatchInsert(table_, keys, values, &statuses);
+  bool ok = true;
+  for (const Status& s : statuses) {
+    if (!s.ok()) ok = false;
+  }
+  for (uint64_t key_num : key_nums) insert_sequence_->Acknowledge(key_num);
+  return ok;
 }
 
 void ClosedEconomyWorkload::OnTransactionOutcome(ThreadState* state,

@@ -27,6 +27,14 @@ namespace core {
 ///   - *readmodifywrite* — transfer $1 between two accounts (the op whose
 ///                 lost updates Figure 4 quantifies).
 ///
+/// Batched variant: `cew.transfer_accounts` = W (default 2) widens the
+/// read-modify-write to one W-account transfer per commit — the payer
+/// account sends $1 to each of W-1 payees through one `MultiRead` + one
+/// `BatchInsert` — keeping the per-commit sum delta exactly zero, so the
+/// anomaly score stays exact.  W = 2 is byte-identical to the classic
+/// two-account path.  BATCH_READ tolerates concurrently closed accounts;
+/// BATCH_INSERT opens W accounts funded from the capture bank.
+///
 /// The invariant is `sum(accounts) + capture_bank == totalcash`.  The
 /// Tier-6 validation stage sweeps the table, compares the counted sum with
 /// the expectation and reports the paper's anomaly score
@@ -44,6 +52,7 @@ class ClosedEconomyWorkload : public CoreWorkload {
   std::unique_ptr<ThreadState> InitThread(int thread_id, int thread_count) override;
 
   bool DoInsert(DB& db, ThreadState* state) override;
+  bool BuildNextInsert(ThreadState* state, LoadRecord* record) override;
   Status Validate(DB& db, uint64_t operations_executed,
                   ValidationResult* result) override;
   void OnTransactionOutcome(ThreadState* state, const TxnOpResult& result,
@@ -59,6 +68,8 @@ class ClosedEconomyWorkload : public CoreWorkload {
   bool DoTransactionDelete(DB& db, ThreadState* state) override;
   bool DoTransactionScan(DB& db, ThreadState* state) override;
   bool DoTransactionReadModifyWrite(DB& db, ThreadState* state) override;
+  bool DoTransactionBatchRead(DB& db, ThreadState* state) override;
+  bool DoTransactionBatchInsert(DB& db, ThreadState* state) override;
 
  private:
   class CewThreadState;
@@ -77,6 +88,9 @@ class ClosedEconomyWorkload : public CoreWorkload {
 
   int64_t total_cash_ = 0;
   int64_t initial_balance_ = 0;
+  /// Accounts per read-modify-write transfer (`cew.transfer_accounts`);
+  /// 2 = the paper's pair transfer, > 2 = the batched variant.
+  int transfer_accounts_ = 2;
   std::atomic<int64_t> bank_{0};
 };
 

@@ -64,6 +64,8 @@ Status CoreWorkload::Init(const Properties& props) {
   double scan_prop = props.GetDouble("scanproportion", 0.0);
   double rmw_prop = props.GetDouble("readmodifywriteproportion", 0.0);
   double delete_prop = props.GetDouble("deleteproportion", 0.0);
+  double batch_read_prop = props.GetDouble("batchreadproportion", 0.0);
+  double batch_insert_prop = props.GetDouble("batchinsertproportion", 0.0);
   op_chooser_ = DiscreteGenerator<const char*>();
   if (read_prop > 0) op_chooser_.AddValue(txop::kRead, read_prop);
   if (update_prop > 0) op_chooser_.AddValue(txop::kUpdate, update_prop);
@@ -71,8 +73,27 @@ Status CoreWorkload::Init(const Properties& props) {
   if (scan_prop > 0) op_chooser_.AddValue(txop::kScan, scan_prop);
   if (rmw_prop > 0) op_chooser_.AddValue(txop::kReadModifyWrite, rmw_prop);
   if (delete_prop > 0) op_chooser_.AddValue(txop::kDelete, delete_prop);
+  if (batch_read_prop > 0) op_chooser_.AddValue(txop::kBatchRead, batch_read_prop);
+  if (batch_insert_prop > 0) {
+    op_chooser_.AddValue(txop::kBatchInsert, batch_insert_prop);
+  }
   if (op_chooser_.Empty()) {
     return Status::InvalidArgument("all operation proportions are zero");
+  }
+
+  uint64_t max_batch_size = props.GetUint("batch.size", 16);
+  if (max_batch_size == 0) return Status::InvalidArgument("batch.size must be > 0");
+  std::string batch_size_dist = props.Get("batch.size_distribution", "uniform");
+  if (batch_size_dist == "uniform") {
+    batch_size_chooser_ = std::make_unique<UniformLongGenerator>(1, max_batch_size);
+  } else if (batch_size_dist == "constant") {
+    batch_size_chooser_ =
+        std::make_unique<ConstantGenerator<uint64_t>>(max_batch_size);
+  } else if (batch_size_dist == "zipfian") {
+    batch_size_chooser_ = std::make_unique<ZipfianGenerator>(1, max_batch_size);
+  } else {
+    return Status::InvalidArgument("unknown batch.size_distribution: " +
+                                   batch_size_dist);
   }
 
   uint64_t last_initial_key = insert_start_ + insert_count_ - 1;
@@ -216,13 +237,24 @@ bool CoreWorkload::DoInsert(DB& db, ThreadState* state) {
   return db.Insert(table_, key, values).ok();
 }
 
+bool CoreWorkload::BuildNextInsert(ThreadState* state, LoadRecord* record) {
+  // Same draws in the same order as DoInsert, so a bulk-loaded table is
+  // byte-identical to a per-op-loaded one.
+  uint64_t key_num = load_sequence_->Next(state->rng);
+  record->table = table_;
+  record->key = BuildKeyName(key_num);
+  record->values = BuildValues(state->rng, record->key);
+  return true;
+}
+
 bool CoreWorkload::NextTransactionReadOnly(ThreadState* state) {
   // Draw the next operation once and park it on the thread state;
   // DoTransaction consumes the parked draw, so peeking is stream-neutral.
   if (state->peeked_op == nullptr) {
     state->peeked_op = op_chooser_.Next(state->rng);
   }
-  return state->peeked_op == txop::kRead || state->peeked_op == txop::kScan;
+  return state->peeked_op == txop::kRead || state->peeked_op == txop::kScan ||
+         state->peeked_op == txop::kBatchRead;
 }
 
 TxnOpResult CoreWorkload::DoTransaction(DB& db, ThreadState* state) {
@@ -241,6 +273,10 @@ TxnOpResult CoreWorkload::DoTransaction(DB& db, ThreadState* state) {
     result.ok = DoTransactionScan(db, state);
   } else if (op == txop::kDelete) {
     result.ok = DoTransactionDelete(db, state);
+  } else if (op == txop::kBatchRead) {
+    result.ok = DoTransactionBatchRead(db, state);
+  } else if (op == txop::kBatchInsert) {
+    result.ok = DoTransactionBatchInsert(db, state);
   } else {
     result.ok = DoTransactionReadModifyWrite(db, state);
   }
@@ -300,6 +336,59 @@ bool CoreWorkload::DoTransactionReadModifyWrite(DB& db, ThreadState* state) {
   if (!db.Read(table_, key, nullptr, &result).ok()) return false;
   if (!VerifyRecord(key, result)) return false;
   return db.Update(table_, key, BuildUpdate(state->rng, key)).ok();
+}
+
+size_t CoreWorkload::NextBatchSize(Random64& rng) {
+  return static_cast<size_t>(batch_size_chooser_->Next(rng));
+}
+
+bool CoreWorkload::DoTransactionBatchRead(DB& db, ThreadState* state) {
+  size_t len = NextBatchSize(state->rng);
+  std::vector<std::string> keys;
+  keys.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    keys.push_back(BuildKeyName(NextKeyNum(state->rng)));
+  }
+  std::vector<MultiReadRow> rows;
+  if (read_all_fields_) {
+    db.MultiRead(table_, keys, nullptr, &rows);
+  } else {
+    std::vector<std::string> fields = {
+        field_names_[state->rng.Uniform(field_names_.size())]};
+    db.MultiRead(table_, keys, &fields, &rows);
+  }
+  bool ok = true;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].status.ok() || !VerifyRecord(keys[i], rows[i].fields)) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool CoreWorkload::DoTransactionBatchInsert(DB& db, ThreadState* state) {
+  size_t len = NextBatchSize(state->rng);
+  std::vector<uint64_t> key_nums;
+  std::vector<std::string> keys;
+  std::vector<FieldMap> values;
+  key_nums.reserve(len);
+  keys.reserve(len);
+  values.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t key_num = insert_sequence_->Next(state->rng);
+    key_nums.push_back(key_num);
+    keys.push_back(BuildKeyName(key_num));
+    values.push_back(BuildValues(state->rng, keys.back()));
+  }
+  std::vector<Status> statuses;
+  db.BatchInsert(table_, keys, values, &statuses);
+  // Acknowledge every key even on failure so the window keeps sliding,
+  // matching the single-insert convention.
+  for (uint64_t key_num : key_nums) insert_sequence_->Acknowledge(key_num);
+  for (const Status& s : statuses) {
+    if (!s.ok()) return false;
+  }
+  return true;
 }
 
 }  // namespace core

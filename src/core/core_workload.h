@@ -23,6 +23,8 @@ inline constexpr const char kInsert[] = "INSERT";
 inline constexpr const char kScan[] = "SCAN";
 inline constexpr const char kDelete[] = "DELETE";
 inline constexpr const char kReadModifyWrite[] = "READMODIFYWRITE";
+inline constexpr const char kBatchRead[] = "BATCH_READ";
+inline constexpr const char kBatchInsert[] = "BATCH_INSERT";
 }  // namespace txop
 
 /// Port of YCSB's CoreWorkload: the configurable mix of read / update /
@@ -39,6 +41,13 @@ inline constexpr const char kReadModifyWrite[] = "READMODIFYWRITE";
 /// `hotspotopnfraction`, `maxscanlength`, `scanlengthdistribution`,
 /// `insertstart`, `insertcount`, `insertorder` (hashed | ordered),
 /// `zeropadding`.
+///
+/// Batch extension (this repo): `batchreadproportion` /
+/// `batchinsertproportion` add BATCH_READ / BATCH_INSERT operations that
+/// drive `DB::MultiRead` / `DB::BatchInsert` with `batch.size` keys per call
+/// (`batch.size_distribution` = uniform | constant | zipfian over
+/// [1, batch.size]) — the multi-item surface YCSB's one-op-per-call model
+/// never exercises.
 class CoreWorkload : public Workload {
  public:
   CoreWorkload() = default;
@@ -46,6 +55,7 @@ class CoreWorkload : public Workload {
   Status Init(const Properties& props) override;
 
   bool DoInsert(DB& db, ThreadState* state) override;
+  bool BuildNextInsert(ThreadState* state, LoadRecord* record) override;
   TxnOpResult DoTransaction(DB& db, ThreadState* state) override;
   bool NextTransactionReadOnly(ThreadState* state) override;
 
@@ -72,6 +82,11 @@ class CoreWorkload : public Workload {
   virtual bool DoTransactionScan(DB& db, ThreadState* state);
   virtual bool DoTransactionDelete(DB& db, ThreadState* state);
   virtual bool DoTransactionReadModifyWrite(DB& db, ThreadState* state);
+  virtual bool DoTransactionBatchRead(DB& db, ThreadState* state);
+  virtual bool DoTransactionBatchInsert(DB& db, ThreadState* state);
+
+  /// Draws the number of keys for one batch operation, in [1, batch.size].
+  size_t NextBatchSize(Random64& rng);
 
   /// Draws a key number guaranteed to be <= the highest acknowledged insert.
   uint64_t NextKeyNum(Random64& rng);
@@ -115,6 +130,7 @@ class CoreWorkload : public Workload {
   std::unique_ptr<AcknowledgedCounterGenerator> insert_sequence_;
   std::unique_ptr<CounterGenerator> load_sequence_;
   std::unique_ptr<IntegerGenerator> scan_length_chooser_;
+  std::unique_ptr<IntegerGenerator> batch_size_chooser_;
   std::unique_ptr<IntegerGenerator> field_length_generator_;
   std::vector<std::string> field_names_;
 };

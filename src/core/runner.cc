@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <iterator>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -12,6 +13,8 @@
 #include "common/logging.h"
 #include "common/op_context.h"
 #include "common/sync.h"
+#include "db/field_codec.h"
+#include "db/kvstore_db.h"
 #include "db/measured_db.h"
 
 namespace ycsbt {
@@ -150,7 +153,91 @@ class TxSeriesCache {
 
 }  // namespace
 
+Status WorkloadRunner::BulkLoadPhase(const LoadOptions& options) {
+  int threads = std::max(options.threads, 1);
+  uint64_t total = workload_->record_count();
+
+  // Build every thread's record stream in data form.  Thread t draws from
+  // the same InitThread(t) state and quota as the per-op path, so the
+  // records — keys and values — are byte-identical to what DoInsert would
+  // have written.
+  std::vector<std::vector<std::pair<std::string, std::string>>> parts(
+      static_cast<size_t>(threads));
+  std::atomic<bool> unsupported{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      uint64_t quota = ShareOf(total, t, threads);
+      auto state = workload_->InitThread(t, threads);
+      auto& out = parts[static_cast<size_t>(t)];
+      out.reserve(quota);
+      Workload::LoadRecord record;
+      for (uint64_t i = 0; i < quota; ++i) {
+        if (!workload_->BuildNextInsert(state.get(), &record)) {
+          unsupported.store(true, std::memory_order_relaxed);
+          return;
+        }
+        out.emplace_back(
+            KvStoreDB::ComposeKey(record.table, record.key),
+            factory_->EncodeBulkValue(EncodeFields(record.values)));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (unsupported.load()) {
+    return Status::NotSupported("workload has no data-form load stream");
+  }
+
+  std::vector<std::pair<std::string, std::string>> records;
+  records.reserve(total);
+  for (auto& part : parts) {
+    std::move(part.begin(), part.end(), std::back_inserter(records));
+    part.clear();
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Hashed key order can (in principle) collide two key numbers onto one key
+  // string; keep the last write like the per-op path's overwrite would.
+  size_t w = 0;
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (w > 0 && records[w - 1].first == records[r].first) {
+      records[w - 1] = std::move(records[r]);
+    } else {
+      if (w != r) records[w] = std::move(records[r]);
+      ++w;
+    }
+  }
+  records.resize(w);
+
+  kv::ShardedStore* engine = factory_->local_engine();
+  size_t batch = static_cast<size_t>(options.bulk_batch);
+  for (size_t off = 0; off < records.size(); off += batch) {
+    size_t len = std::min(batch, records.size() - off);
+    std::vector<std::pair<std::string, std::string>> frame(
+        std::make_move_iterator(records.begin() + static_cast<ptrdiff_t>(off)),
+        std::make_move_iterator(records.begin() + static_cast<ptrdiff_t>(off + len)));
+    Status s = engine->BulkLoad(frame);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status WorkloadRunner::Load(const LoadOptions& options) {
+  if (options.bulk_batch > 0) {
+    if (!options.wrap_in_transactions && factory_->SupportsBulkLoad()) {
+      Status s = BulkLoadPhase(options);
+      // NotSupported = no data-form stream for this workload; every other
+      // status — success or a real ingest failure — is final.
+      if (!s.IsNotSupported()) return s;
+      YCSBT_WARN("bulkload.batch set but the workload has no bulk load "
+                 "stream; falling back to per-op inserts");
+    } else {
+      YCSBT_WARN("bulkload.batch set but the binding cannot bulk load "
+                 "(transactional load or no local engine); falling back to "
+                 "per-op inserts");
+    }
+  }
   int threads = std::max(options.threads, 1);
   uint64_t total = workload_->record_count();
   std::atomic<uint64_t> failures{0};

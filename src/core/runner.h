@@ -22,6 +22,12 @@ struct LoadOptions {
   /// Wrap every insert in Start/Commit (the strict paper behaviour).  Off by
   /// default: the load phase is setup, not measurement.
   bool wrap_in_transactions = false;
+  /// Records per engine `BulkLoad` frame (`bulkload.batch`); 0 keeps the
+  /// per-op DoInsert path.  The sorted fast path needs a binding whose
+  /// factory `SupportsBulkLoad()`, a workload implementing `BuildNextInsert`
+  /// and non-transactional loading; otherwise the runner warns once and
+  /// falls back to per-op inserts.
+  uint64_t bulk_batch = 0;
 };
 
 /// Parameters of the transaction (run) phase.
@@ -173,6 +179,13 @@ class WorkloadRunner {
   Status Execute(const LoadOptions& load, const RunOptions& run, RunResult* result);
 
  private:
+  /// The sorted bulk-load fast path: collects every thread's deterministic
+  /// record stream via `BuildNextInsert`, sorts the engine-level keys, and
+  /// feeds `ShardedStore::BulkLoad` in `bulk_batch`-record frames.  Returns
+  /// NotSupported when the workload has no data-form load stream (the caller
+  /// then runs the per-op path).
+  Status BulkLoadPhase(const LoadOptions& options);
+
   DBFactory* factory_;
   Workload* workload_;
   Measurements* measurements_;

@@ -1,0 +1,103 @@
+#ifndef YCSBT_CORE_SUITE_H_
+#define YCSBT_CORE_SUITE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/status.h"
+#include "core/runner.h"
+
+namespace ycsbt {
+namespace core {
+
+/// One concrete run of a suite: a fully merged property set plus the labels
+/// that place it in the suite's matrix.
+struct SuiteRun {
+  std::string name;    ///< directory-safe unique run name
+  std::string config;  ///< substrate-axis label ("" when the suite has none)
+  std::string mix;     ///< workload-axis label ("" when the suite has none)
+  int repeat = 1;      ///< 1-based repeat index
+  Properties props;    ///< base + config + mix + sweep assignment, merged
+};
+
+/// Declarative benchmark-suite specification (DESIGN.md §11), parsed from a
+/// properties-syntax file:
+///
+///   suite.name=fig2_cloud_throughput     # suite label / default output dir
+///   suite.load=once                      # once | per_run
+///   suite.repeats=1                      # repeats of the whole matrix
+///   suite.output_dir=results/fig2        # results tree root
+///   suite.operations_per_thread=3000     # operationcount = this x threads
+///   base.db=txn+was                      # properties shared by every run
+///   config.mix90_10.readproportion=0.9   # substrate/config axis bundles
+///   mix.scanheavy.scanproportion=0.95    # workload axis bundles
+///   sweep.threads=1,2,4,8,16             # swept single properties
+///
+/// The matrix is the cross product configs x mixes x sweeps x repeats.  A
+/// suite without `config.*` (or `mix.*`) keys has one unnamed entry on that
+/// axis.  With `suite.load=once` every (config, repeat) group shares one
+/// loaded substrate — its runs after the first get `skipload` — so sweeping
+/// a substrate-affecting property (e.g. `db`) requires `per_run` or separate
+/// configs.
+struct SuiteSpec {
+  std::string name = "suite";
+  std::string output_dir;  ///< defaults to results/<name> when empty
+  bool load_once = true;
+  int repeats = 1;
+  /// When non-zero, every run's `operationcount` is set to this times the
+  /// run's `threads` — same wall-clock per sweep point, as Fig 5 needs.
+  uint64_t operations_per_thread = 0;
+  Properties base;
+  std::vector<std::pair<std::string, Properties>> configs;
+  std::vector<std::pair<std::string, Properties>> mixes;
+  std::vector<std::pair<std::string, std::vector<std::string>>> sweeps;
+
+  /// Parses a loaded properties file into a spec.  Every key must be
+  /// `suite.*` or carry one of the axis prefixes; anything else is an
+  /// InvalidArgument (suites are declarations, not grab bags).
+  static Status Parse(const Properties& file, SuiteSpec* out);
+
+  /// Expands the matrix into concrete runs, ordered config -> repeat ->
+  /// mix -> sweep combination (the order `Execute` groups substrates in).
+  std::vector<SuiteRun> Expand() const;
+};
+
+/// What one executed run left behind.
+struct SuiteRunOutcome {
+  SuiteRun run;
+  Status status;
+  RunResult result;
+};
+
+/// Executes a suite through the existing benchmark driver and writes the
+/// consolidated results tree:
+///
+///   <output_dir>/<run name>/run.properties   the run's exact property set
+///   <output_dir>/<run name>/summary.txt      Listing-3 text export
+///   <output_dir>/<run name>/summary.json     JSON export
+///   <output_dir>/rollup.txt                  one-line-per-run table
+///   <output_dir>/rollup.json                 same, machine-readable
+///
+/// A failing run is recorded (its directory holds the error) and the suite
+/// continues; Execute returns non-OK at the end if any run failed.
+class SuiteOrchestrator {
+ public:
+  explicit SuiteOrchestrator(SuiteSpec spec) : spec_(std::move(spec)) {}
+
+  Status Execute(std::vector<SuiteRunOutcome>* outcomes);
+
+  const SuiteSpec& spec() const { return spec_; }
+
+  static std::string RollupTable(const std::vector<SuiteRunOutcome>& outcomes);
+  static std::string RollupJson(const std::vector<SuiteRunOutcome>& outcomes);
+
+ private:
+  SuiteSpec spec_;
+};
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_SUITE_H_

@@ -10,6 +10,11 @@ std::unique_ptr<Workload::ThreadState> Workload::InitThread(int thread_id,
                                        static_cast<uint64_t>(thread_id));
 }
 
+bool Workload::BuildNextInsert(ThreadState* /*state*/, LoadRecord* /*record*/) {
+  // Workloads without a data-form load stream fall back to per-op DoInsert.
+  return false;
+}
+
 Status Workload::Validate(DB& /*db*/, uint64_t /*operations_executed*/,
                           ValidationResult* result) {
   // Backward-compatible default: no validation defined (paper §IV-B).

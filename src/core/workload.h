@@ -79,6 +79,23 @@ class Workload {
   /// One load-phase insert.  Returns false on failure (the run aborts).
   virtual bool DoInsert(DB& db, ThreadState* state) = 0;
 
+  /// One record of the load phase in data form, for bulk ingestion.
+  struct LoadRecord {
+    std::string table;
+    std::string key;
+    FieldMap values;
+  };
+
+  /// Produces the record the next `DoInsert` on this thread would write,
+  /// WITHOUT touching the DB — the sorted-bulk-load path: the runner
+  /// collects records from every thread, sorts them, and feeds the engine's
+  /// `BulkLoad` directly.  Returns false when the thread's load quota is not
+  /// expressible as plain records (the workload then keeps the per-op
+  /// `DoInsert` path).  Implementations must draw from the same deterministic
+  /// streams as `DoInsert`, so a bulk-loaded table is byte-identical to a
+  /// per-op-loaded one.  Default: false (no bulk path).
+  virtual bool BuildNextInsert(ThreadState* state, LoadRecord* record);
+
   /// One run-phase transaction (one or more DB operations).
   virtual TxnOpResult DoTransaction(DB& db, ThreadState* state) = 0;
 

@@ -30,6 +30,19 @@ class BasicDB : public DB {
                 const FieldMap& values) override;
   Status Insert(const std::string& table, const std::string& key,
                 const FieldMap& values) override;
+  void BatchInsert(const std::string& table, const std::vector<std::string>& keys,
+                   const std::vector<FieldMap>& values,
+                   std::vector<Status>* statuses) override {
+    (void)table;
+    (void)values;
+    // One simulated round trip for the whole batch, one op counted per key.
+    statuses->clear();
+    statuses->resize(keys.size());
+    if (keys.empty()) return;
+    Status s = Touch();
+    for (size_t i = 0; i < keys.size(); ++i) (*statuses)[i] = s;
+    ops_.fetch_add(keys.size() - 1, std::memory_order_relaxed);
+  }
   Status Delete(const std::string& table, const std::string& key) override;
 
   /// Total operations across all BasicDB methods (shared by all threads'

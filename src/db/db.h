@@ -80,6 +80,23 @@ class DB {
   virtual Status Insert(const std::string& table, const std::string& key,
                         const FieldMap& values) = 0;
 
+  /// Inserts every record of `keys`/`values` (parallel arrays) with one
+  /// call, filling `statuses` (resized to match) with independent per-key
+  /// outcomes.  Like `MultiRead`, this is semantically a sequence of
+  /// `Insert` calls — no cross-key atomicity is added — but bindings with a
+  /// batched write path overlap the round trips.  The default is the
+  /// sequential loop.
+  virtual void BatchInsert(const std::string& table,
+                           const std::vector<std::string>& keys,
+                           const std::vector<FieldMap>& values,
+                           std::vector<Status>* statuses) {
+    statuses->clear();
+    statuses->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*statuses)[i] = Insert(table, keys[i], values[i]);
+    }
+  }
+
   /// Deletes one record.
   virtual Status Delete(const std::string& table, const std::string& key) = 0;
 

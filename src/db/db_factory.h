@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "cloud/sim_cloud_store.h"
 #include "common/properties.h"
@@ -70,6 +71,22 @@ class DBFactory {
   std::unique_ptr<DB> CreateClient();
 
   const std::string& db_name() const { return name_; }
+
+  /// True when the binding can ingest pre-sorted runs straight into the
+  /// local engine (`local_engine()->BulkLoad`).  Every binding whose data
+  /// ultimately lives in the local `ShardedStore` qualifies — the decorators
+  /// (latency, cloud simulation, faults, resilience) are value-passthrough,
+  /// so a record bulk-loaded underneath them reads back identically.
+  bool SupportsBulkLoad() const { return initialized_ && local_engine_ != nullptr; }
+
+  /// Translates an encoded record value into the engine-level representation
+  /// this binding stores: the MVCC committed-record wrapper for `txn+*`
+  /// bindings (see `ClientTxnStore::EncodeLoadValue`), identity elsewhere.
+  /// Only meaningful when `SupportsBulkLoad()`.
+  std::string EncodeBulkValue(std::string_view value) const {
+    return client_txn_store_ != nullptr ? client_txn_store_->EncodeLoadValue(value)
+                                        : std::string(value);
+  }
 
   /// Substrate handles (may be null depending on the binding) — used by
   /// benches and tests to reach behind the DB abstraction.

@@ -72,6 +72,25 @@ Status KvStoreDB::Insert(const std::string& table, const std::string& key,
   return store_->Put(ComposeKey(table, key), EncodeFields(values));
 }
 
+void KvStoreDB::BatchInsert(const std::string& table,
+                            const std::vector<std::string>& keys,
+                            const std::vector<FieldMap>& values,
+                            std::vector<Status>* statuses) {
+  std::vector<kv::WriteOp> ops;
+  ops.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ops.push_back(
+        kv::WriteOp::Put(ComposeKey(table, keys[i]), EncodeFields(values[i])));
+  }
+  std::vector<kv::WriteResult> results;
+  store_->MultiWrite(ops, &results);
+  statuses->clear();
+  statuses->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*statuses)[i] = results[i].status;
+  }
+}
+
 Status KvStoreDB::Delete(const std::string& table, const std::string& key) {
   return store_->Delete(ComposeKey(table, key));
 }

@@ -39,6 +39,9 @@ class KvStoreDB : public DB {
                 const FieldMap& values) override;
   Status Insert(const std::string& table, const std::string& key,
                 const FieldMap& values) override;
+  void BatchInsert(const std::string& table, const std::vector<std::string>& keys,
+                   const std::vector<FieldMap>& values,
+                   std::vector<Status>* statuses) override;
   Status Delete(const std::string& table, const std::string& key) override;
 
   kv::Store* store() const { return store_.get(); }

@@ -17,6 +17,7 @@ void MeasuredDB::ResolveHandles() {
   ops_.scan = measurements_->RegisterOp(opname::kScan);
   ops_.update = measurements_->RegisterOp(opname::kUpdate);
   ops_.insert = measurements_->RegisterOp(opname::kInsert);
+  ops_.batch_insert = measurements_->RegisterOp(opname::kBatchInsert);
   ops_.del = measurements_->RegisterOp(opname::kDelete);
   ops_.start = measurements_->RegisterOp(opname::kStart);
   ops_.commit = measurements_->RegisterOp(opname::kCommit);
@@ -83,6 +84,25 @@ Status MeasuredDB::Insert(const std::string& table, const std::string& key,
   Stopwatch watch;
   Status s = inner_->Insert(table, key, values);
   return Record(ops_.insert, std::move(s), static_cast<int64_t>(watch.ElapsedMicros()));
+}
+
+void MeasuredDB::BatchInsert(const std::string& table,
+                             const std::vector<std::string>& keys,
+                             const std::vector<FieldMap>& values,
+                             std::vector<Status>* statuses) {
+  Stopwatch watch;
+  inner_->BatchInsert(table, keys, values, statuses);
+  // One BATCHINSERT sample per batch; its status is the first per-key
+  // failure, mirroring the MULTIREAD convention.
+  Status batch;
+  for (const Status& s : *statuses) {
+    if (!s.ok()) {
+      batch = s;
+      break;
+    }
+  }
+  Record(ops_.batch_insert, std::move(batch),
+         static_cast<int64_t>(watch.ElapsedMicros()));
 }
 
 Status MeasuredDB::Delete(const std::string& table, const std::string& key) {

@@ -16,6 +16,7 @@ inline constexpr const char kMultiRead[] = "MULTIREAD";
 inline constexpr const char kScan[] = "SCAN";
 inline constexpr const char kUpdate[] = "UPDATE";
 inline constexpr const char kInsert[] = "INSERT";
+inline constexpr const char kBatchInsert[] = "BATCHINSERT";
 inline constexpr const char kDelete[] = "DELETE";
 inline constexpr const char kStart[] = "START";
 inline constexpr const char kCommit[] = "COMMIT";
@@ -59,6 +60,9 @@ class MeasuredDB : public DB {
                 const FieldMap& values) override;
   Status Insert(const std::string& table, const std::string& key,
                 const FieldMap& values) override;
+  void BatchInsert(const std::string& table, const std::vector<std::string>& keys,
+                   const std::vector<FieldMap>& values,
+                   std::vector<Status>* statuses) override;
   Status Delete(const std::string& table, const std::string& key) override;
 
   Status Start() override;
@@ -69,9 +73,10 @@ class MeasuredDB : public DB {
   DB* inner() const { return inner_.get(); }
 
  private:
-  /// Resolved handles for the nine series this wrapper emits.
+  /// Resolved handles for the ten series this wrapper emits.
   struct OpHandles {
-    OpId read, multiread, scan, update, insert, del, start, commit, abort;
+    OpId read, multiread, scan, update, insert, batch_insert, del, start,
+        commit, abort;
   };
 
   void ResolveHandles();

@@ -90,6 +90,23 @@ Status TxnDB::Insert(const std::string& table, const std::string& key,
   return kv_->LoadPut(composed, encoded);
 }
 
+void TxnDB::BatchInsert(const std::string& table,
+                        const std::vector<std::string>& keys,
+                        const std::vector<FieldMap>& values,
+                        std::vector<Status>* statuses) {
+  // Inside a transaction all writes land in the write buffer, so the batch
+  // costs nothing beyond the loop; outside one, each record is an
+  // auto-committed LoadPut exactly like `Insert`.
+  statuses->clear();
+  statuses->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::string composed = KvStoreDB::ComposeKey(table, keys[i]);
+    std::string encoded = EncodeFields(values[i]);
+    (*statuses)[i] = txn_ != nullptr ? txn_->Write(composed, encoded)
+                                     : kv_->LoadPut(composed, encoded);
+  }
+}
+
 Status TxnDB::Delete(const std::string& table, const std::string& key) {
   std::string composed = KvStoreDB::ComposeKey(table, key);
   if (txn_ != nullptr) return txn_->Delete(composed);

@@ -155,6 +155,68 @@ class SkipList {
   size_t size_;
 
   friend class Iterator;
+
+ public:
+  /// Ascending-order insert cursor for bulk-loading pre-sorted runs: keeps
+  /// the splice frontier from the previous insert so each key resumes its
+  /// search there instead of from the head — O(1) amortised per key on a
+  /// sorted run versus O(log n) for `Upsert`.
+  ///
+  /// Keys fed to `Insert` must be strictly increasing; keys already in the
+  /// list may interleave with the run freely (an equal pre-existing key is
+  /// overwritten, exactly like `Upsert`).  The cursor is invalidated by any
+  /// other mutation of the list.
+  class SortedInserter {
+   public:
+    explicit SortedInserter(SkipList* list) : list_(list) {
+      for (int i = 0; i < kMaxHeight; ++i) prev_[i] = list->head_;
+    }
+
+    /// Inserts `key` with `value` (overwriting on an equal key).
+    /// Returns true if the key was newly inserted.
+    bool Insert(const std::string& key, V value) {
+      if (!primed_) {
+        // First insert: a regular top-down descent to position the splice
+        // frontier.  The per-level resume below starts each level from its
+        // own stale `prev_` instead of carrying the position down from the
+        // level above, so on a cursor freshly opened against a populated
+        // list it would walk level 0 from the head — O(n), not O(log n).
+        list_->FindGreaterOrEqual(key, prev_);
+        primed_ = true;
+      } else {
+        // Each level resumes from its previous splice point: with ascending
+        // keys, prev_[level] is always to the left of the new key, and the
+        // total walk per level over a run is bounded by the nodes linked at
+        // that level — O(1) amortised per insert.
+        for (int level = kMaxHeight - 1; level >= 0; --level) {
+          Node* x = prev_[level];
+          while (x->next[level] != nullptr && x->next[level]->key < key) {
+            x = x->next[level];
+          }
+          prev_[level] = x;
+        }
+      }
+      Node* node = prev_[0]->next[0];
+      if (node != nullptr && node->key == key) {
+        node->value = std::move(value);
+        return false;
+      }
+      Node* fresh = new Node(key, list_->RandomHeight());
+      fresh->value = std::move(value);
+      for (int i = 0; i < fresh->height(); ++i) {
+        fresh->next[i] = prev_[i]->next[i];
+        prev_[i]->next[i] = fresh;
+        prev_[i] = fresh;
+      }
+      ++list_->size_;
+      return true;
+    }
+
+   private:
+    SkipList* list_;
+    Node* prev_[kMaxHeight];
+    bool primed_ = false;
+  };
 };
 
 }  // namespace kv

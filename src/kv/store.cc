@@ -113,7 +113,30 @@ kv::WalOptions ShardedStore::MakeWalOptions() const {
   return wal;
 }
 
+void ShardedStore::AdvanceEtagSource(uint64_t etag) {
+  uint64_t seen = etag_source_.load(std::memory_order_relaxed);
+  while (etag > seen && !etag_source_.compare_exchange_weak(
+                            seen, etag, std::memory_order_relaxed)) {
+  }
+}
+
 void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag) {
+  if (record.kind == WalRecord::Kind::kBulkPut) {
+    // One frame covers a whole sorted run; entry i carries etag + i.  The
+    // frame's CRC already validated the payload, so a decode failure can
+    // only be an encoder bug — apply whatever decoded.
+    std::vector<std::pair<std::string, std::string>> run;
+    DecodeBulkPayload(record.value, &run);
+    for (size_t i = 0; i < run.size(); ++i) {
+      uint64_t etag = record.etag + i;
+      if (etag <= skip_upto_etag) continue;
+      Shard& shard = ShardFor(run[i].first);
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.map.Upsert(run[i].first, Entry{std::move(run[i].second), etag});
+    }
+    if (!run.empty()) AdvanceEtagSource(record.etag + run.size() - 1);
+    return;
+  }
   if (record.etag != 0 && record.etag <= skip_upto_etag) return;
   Shard& shard = ShardFor(record.key);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
@@ -123,11 +146,7 @@ void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_eta
     shard.map.Erase(record.key);
   }
   // Keep the etag source ahead of everything the log produced.
-  uint64_t seen = etag_source_.load(std::memory_order_relaxed);
-  while (record.etag > seen &&
-         !etag_source_.compare_exchange_weak(seen, record.etag,
-                                             std::memory_order_relaxed)) {
-  }
+  AdvanceEtagSource(record.etag);
 }
 
 Status ShardedStore::Checkpoint() {
@@ -180,9 +199,64 @@ Status ShardedStore::Checkpoint() {
   return wal_.Open(options_.wal_path, MakeWalOptions());
 }
 
+Status ShardedStore::BulkLoad(
+    const std::vector<std::pair<std::string, std::string>>& sorted_records) {
+  if (!open_) return Status::IOError("store not opened");
+  if (sorted_records.empty()) return Status::OK();
+  for (size_t i = 0; i < sorted_records.size(); ++i) {
+    if (sorted_records[i].first.empty()) {
+      return Status::InvalidArgument("empty keys are reserved");
+    }
+    if (i > 0 && sorted_records[i].first <= sorted_records[i - 1].first) {
+      return Status::InvalidArgument(
+          "bulk-load run must be strictly ascending at index " +
+          std::to_string(i));
+    }
+  }
+  // Reserve a contiguous etag range up front: record i carries first + i,
+  // so replay and checkpoint watermarks order the run like individual puts.
+  uint64_t first_etag = etag_source_.fetch_add(sorted_records.size(),
+                                               std::memory_order_relaxed) +
+                        1;
+  if (wal_.IsOpen()) {
+    // One frame for the whole run; rides group commit like any other append.
+    WalRecord record;
+    record.kind = WalRecord::Kind::kBulkPut;
+    record.etag = first_etag;
+    record.value = EncodeBulkPayload(sorted_records);
+    Status s = wal_.Append(record, options_.sync_wal);
+    if (!s.ok()) return s;
+  }
+  // Stream the run once, in order, into one sorted-insert cursor per shard.
+  // The global sort order restricted to any one shard is still strictly
+  // ascending, so every cursor sees a valid feed.  Walking the record array
+  // sequentially (rather than bucketing indices per shard and re-reading the
+  // array shard by shard) keeps the key/value string accesses prefetchable —
+  // on a 1M-record run that is the difference between the fast path beating
+  // per-key `Put` and losing to it.  Locks are taken in index order, the
+  // same order `Scan` and `Checkpoint` use, so the paths cannot deadlock.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  std::vector<SkipList<Entry>::SortedInserter> cursors;
+  locks.reserve(shards_.size());
+  cursors.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+    cursors.emplace_back(&shard->map);
+  }
+  for (size_t i = 0; i < sorted_records.size(); ++i) {
+    cursors[ShardIndex(sorted_records[i].first)].Insert(
+        sorted_records[i].first, Entry{sorted_records[i].second, first_etag + i});
+  }
+  return Status::OK();
+}
+
 ShardedStore::Shard& ShardedStore::ShardFor(const std::string& key) {
+  return *shards_[ShardIndex(key)];
+}
+
+size_t ShardedStore::ShardIndex(const std::string& key) const {
   uint64_t h = FNVHash64(std::hash<std::string>{}(key));
-  return *shards_[h % shards_.size()];
+  return h % shards_.size();
 }
 
 Status ShardedStore::LogMutation(WalRecord::Kind kind, const std::string& key,

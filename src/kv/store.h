@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -202,6 +203,23 @@ class ShardedStore : public Store {
   /// correct variant).  Requires both `checkpoint_path` and `wal_path`.
   Status Checkpoint();
 
+  /// Sorted bulk-load fast path: ingests a strictly-ascending run of
+  /// (key, value) pairs, bypassing both the per-key skip-list search (each
+  /// shard's sub-run is spliced through a `SkipList::SortedInserter` cursor
+  /// under one exclusive lock) and the WAL-frame-per-record cost (the whole
+  /// run is logged as ONE group-committed `kBulkPut` frame).  Each record
+  /// gets a fresh etag from a contiguous reserved range, so replay and
+  /// checkpoint watermarks order bulk records exactly like single puts.
+  ///
+  /// Returns InvalidArgument when the run is not strictly ascending or
+  /// contains an empty key; the store is unchanged in that case.  Concurrent
+  /// single-key operations remain safe (the run takes the normal shard
+  /// locks), but interleaved writers void the "one frame = one atomic run"
+  /// durability grouping only in the sense that their records land between
+  /// the batch frames — crash recovery stays exact either way.
+  Status BulkLoad(
+      const std::vector<std::pair<std::string, std::string>>& sorted_records);
+
   Status Get(const std::string& key, std::string* value,
              uint64_t* etag = nullptr) override;
   Status Put(const std::string& key, std::string_view value,
@@ -251,8 +269,12 @@ class ShardedStore : public Store {
   };
 
   Shard& ShardFor(const std::string& key);
+  size_t ShardIndex(const std::string& key) const;
   /// WAL commit-path configuration derived from the store options.
   WalOptions MakeWalOptions() const;
+  /// Lifts the etag source to at least `etag` (replay keeps it ahead of
+  /// everything the log produced).
+  void AdvanceEtagSource(uint64_t etag);
   uint64_t NextEtag() { return etag_source_.fetch_add(1, std::memory_order_relaxed) + 1; }
   Status LogMutation(WalRecord::Kind kind, const std::string& key,
                      std::string_view value, uint64_t etag);

@@ -62,6 +62,44 @@ std::string EncodeFrame(const WalRecord& record) {
 
 }  // namespace
 
+std::string EncodeBulkPayload(
+    const std::vector<std::pair<std::string, std::string>>& records) {
+  size_t bytes = 4;
+  for (const auto& [key, value] : records) {
+    bytes += 8 + key.size() + value.size();
+  }
+  std::string payload;
+  payload.reserve(bytes);
+  PutU32(&payload, static_cast<uint32_t>(records.size()));
+  for (const auto& [key, value] : records) {
+    PutU32(&payload, static_cast<uint32_t>(key.size()));
+    PutU32(&payload, static_cast<uint32_t>(value.size()));
+    payload.append(key);
+    payload.append(value);
+  }
+  return payload;
+}
+
+bool DecodeBulkPayload(const std::string& payload,
+                       std::vector<std::pair<std::string, std::string>>* records) {
+  if (payload.size() < 4) return false;
+  uint32_t count = GetU32(payload.data());
+  size_t pos = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 8 > payload.size()) return false;
+    uint32_t key_len = GetU32(payload.data() + pos);
+    uint32_t value_len = GetU32(payload.data() + pos + 4);
+    pos += 8;
+    if (pos + static_cast<size_t>(key_len) + value_len > payload.size()) {
+      return false;
+    }
+    records->emplace_back(payload.substr(pos, key_len),
+                          payload.substr(pos + key_len, value_len));
+    pos += static_cast<size_t>(key_len) + value_len;
+  }
+  return pos == payload.size();
+}
+
 WriteAheadLog::~WriteAheadLog() { Close(); }
 
 Status WriteAheadLog::Open(const std::string& path, WalOptions options) {
@@ -308,7 +346,8 @@ Status WriteAheadLog::Replay(const std::string& path,
                                 std::to_string(pos));
     }
     if (kind != static_cast<uint8_t>(WalRecord::Kind::kPut) &&
-        kind != static_cast<uint8_t>(WalRecord::Kind::kDelete)) {
+        kind != static_cast<uint8_t>(WalRecord::Kind::kDelete) &&
+        kind != static_cast<uint8_t>(WalRecord::Kind::kBulkPut)) {
       return Status::Corruption("WAL record has unknown kind");
     }
     WalRecord record;

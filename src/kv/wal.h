@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -17,13 +18,29 @@ namespace kv {
 
 /// One logical write-ahead-log record.
 struct WalRecord {
-  enum class Kind : uint8_t { kPut = 1, kDelete = 2 };
+  /// `kBulkPut` is one durable frame covering a whole pre-sorted run of
+  /// puts (the `ShardedStore::BulkLoad` fast path): `key` is empty, `value`
+  /// is an `EncodeBulkPayload` packing of the run, and `etag` is the etag of
+  /// the run's *first* record — entry i of the payload carries `etag + i`.
+  enum class Kind : uint8_t { kPut = 1, kDelete = 2, kBulkPut = 3 };
 
   Kind kind = Kind::kPut;
   uint64_t etag = 0;
   std::string key;
   std::string value;  // empty for deletes
 };
+
+/// Packs a run of (key, value) pairs into the payload of one `kBulkPut`
+/// frame: u32 count, then per record u32 key_len, u32 value_len, key bytes,
+/// value bytes (little-endian throughout, like the frame header).
+std::string EncodeBulkPayload(
+    const std::vector<std::pair<std::string, std::string>>& records);
+
+/// Decodes an `EncodeBulkPayload` payload, appending to `records`.
+/// Returns false when the payload is malformed (truncated or trailing
+/// bytes); `records` may then hold a prefix of the run.
+bool DecodeBulkPayload(const std::string& payload,
+                       std::vector<std::pair<std::string, std::string>>* records);
 
 /// Commit-path configuration of a `WriteAheadLog`.
 struct WalOptions {

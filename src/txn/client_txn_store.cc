@@ -948,10 +948,14 @@ Status ClientTxnStore::RecoverLock(const std::string& key, TxRecord* record,
 }
 
 Status ClientTxnStore::LoadPut(const std::string& key, std::string_view value) {
+  return base_->Put(key, EncodeLoadValue(value));
+}
+
+std::string ClientTxnStore::EncodeLoadValue(std::string_view value) {
   TxRecord record;
   record.commit_ts = ts_source_->Next();
   record.value = std::string(value);
-  return base_->Put(key, EncodeTxRecord(record));
+  return EncodeTxRecord(record);
 }
 
 Status ClientTxnStore::ReadCommitted(const std::string& key, std::string* value) {

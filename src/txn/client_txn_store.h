@@ -71,6 +71,13 @@ class ClientTxnStore : public TransactionalKV {
   std::unique_ptr<Transaction> Begin() override;
 
   Status LoadPut(const std::string& key, std::string_view value) override;
+
+  /// Encodes `value` as the committed-record representation `LoadPut` would
+  /// store (fresh commit timestamp, no lock) — the bulk-load hook: callers
+  /// ingesting pre-encoded runs straight into the *base* store must wrap
+  /// each value through this, or the MVCC decode on first read would fail.
+  std::string EncodeLoadValue(std::string_view value);
+
   Status ReadCommitted(const std::string& key, std::string* value) override;
   Status ScanCommitted(const std::string& start_key, size_t limit,
                        std::vector<TxScanEntry>* out) override;

@@ -1,0 +1,60 @@
+// Known-key registry: exact matching, the suite-file structural prefixes,
+// and the unknown-key sweep that backs LoadFromFile's typo warning.
+
+#include <gtest/gtest.h>
+
+#include "common/properties.h"
+#include "common/property_registry.h"
+
+namespace ycsbt {
+namespace {
+
+TEST(PropertyRegistryTest, KnowsCoreAndSubsystemKeys) {
+  EXPECT_TRUE(IsKnownPropertyKey("threads"));
+  EXPECT_TRUE(IsKnownPropertyKey("recordcount"));
+  EXPECT_TRUE(IsKnownPropertyKey("readproportion"));
+  EXPECT_TRUE(IsKnownPropertyKey("db"));
+  EXPECT_TRUE(IsKnownPropertyKey("bulkload.batch"));
+  EXPECT_TRUE(IsKnownPropertyKey("cew.transfer_accounts"));
+}
+
+TEST(PropertyRegistryTest, FlagsTyposInsideKnownNamespaces) {
+  // Exact matching, never prefix-family matching: the classic silent typo
+  // (`txn.fanout_thread`, missing the trailing `s`) must be caught even
+  // though plenty of `txn.*` keys exist.
+  EXPECT_TRUE(IsKnownPropertyKey("txn.fanout_threads"));
+  EXPECT_FALSE(IsKnownPropertyKey("txn.fanout_thread"));
+  EXPECT_FALSE(IsKnownPropertyKey("readsproportion"));
+  EXPECT_FALSE(IsKnownPropertyKey("thread"));
+}
+
+TEST(PropertyRegistryTest, SuiteWrappersValidateTheWrappedKey) {
+  EXPECT_TRUE(IsKnownPropertyKey("suite.name"));
+  EXPECT_FALSE(IsKnownPropertyKey("suite.bogus_control"));
+  EXPECT_TRUE(IsKnownPropertyKey("base.threads"));
+  EXPECT_FALSE(IsKnownPropertyKey("base.thread"));
+  EXPECT_TRUE(IsKnownPropertyKey("sweep.threads"));
+  EXPECT_FALSE(IsKnownPropertyKey("sweep.threadz"));
+  // config./mix. strip the free-form axis name, then validate the rest.
+  EXPECT_TRUE(IsKnownPropertyKey("config.mix90_10.readproportion"));
+  EXPECT_FALSE(IsKnownPropertyKey("config.mix90_10.readproportionn"));
+  EXPECT_TRUE(IsKnownPropertyKey("mix.scanheavy.scanproportion"));
+  EXPECT_FALSE(IsKnownPropertyKey("mix.scanheavy.scanproportio"));
+  // A wrapper with nothing inside is not a key.
+  EXPECT_FALSE(IsKnownPropertyKey("config.orphan"));
+}
+
+TEST(PropertyRegistryTest, UnknownKeySweepIsSortedAndExact) {
+  Properties props;
+  props.Set("threads", "8");
+  props.Set("txn.fanout_thread", "4");   // typo
+  props.Set("zzz.unknown", "1");
+  props.Set("base.db", "memkv");
+  std::vector<std::string> unknown = UnknownPropertyKeys(props);
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "txn.fanout_thread");
+  EXPECT_EQ(unknown[1], "zzz.unknown");
+}
+
+}  // namespace
+}  // namespace ycsbt

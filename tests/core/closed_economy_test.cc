@@ -213,6 +213,73 @@ TEST_F(ClosedEconomyTest, AnomalyScoreUsesOperationDenominator) {
   EXPECT_DOUBLE_EQ(r2.anomaly_score, 0.0);
 }
 
+TEST_F(ClosedEconomyTest, RejectsFewerThanTwoTransferAccounts) {
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  p.Set("cew.transfer_accounts", "1");
+  EXPECT_TRUE(w.Init(p).IsInvalidArgument());
+}
+
+TEST_F(ClosedEconomyTest, BatchedTransfersPreserveSumExactly) {
+  // cew.transfer_accounts > 2 switches READMODIFYWRITE to the batched
+  // variant (one payer sends $1 to W-1 payees in a single MultiRead +
+  // BatchInsert).  The per-commit delta is still exactly zero, so serial
+  // execution must keep the anomaly score at 0.
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  p.Set("readproportion", "0");
+  p.Set("readmodifywriteproportion", "1.0");
+  p.Set("cew.transfer_accounts", "5");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  auto state = w.InitThread(0, 1);
+  constexpr int kOps = 2000;
+  for (int i = 0; i < kOps; ++i) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok);
+    ASSERT_STREQ(r.op, "READMODIFYWRITE");
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  EXPECT_EQ(CountedCash(w, db), 100000);
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, kOps, &result).ok());
+  EXPECT_TRUE(result.passed);
+  EXPECT_DOUBLE_EQ(result.anomaly_score, 0.0);
+}
+
+TEST_F(ClosedEconomyTest, BatchOpsKeepTheEconomyClosed) {
+  // Deletes bank money, BATCH_INSERT withdraws it to open funded accounts,
+  // BATCH_READ sweeps snapshots — accounts + bank stays totalcash.
+  ClosedEconomyWorkload w;
+  Properties p = CewProps(100, 100000);
+  p.Set("readproportion", "0");
+  p.Set("readmodifywriteproportion", "0");
+  p.Set("deleteproportion", "0.3");
+  p.Set("batchreadproportion", "0.4");
+  p.Set("batchinsertproportion", "0.3");
+  p.Set("batch.size", "8");
+  ASSERT_TRUE(w.Init(p).ok());
+  KvStoreDB db(std::make_shared<kv::ShardedStore>());
+  LoadAll(w, db);
+  auto state = w.InitThread(0, 1);
+  bool saw_batch_read = false, saw_batch_insert = false;
+  constexpr int kOps = 1000;
+  for (int i = 0; i < kOps; ++i) {
+    TxnOpResult r = w.DoTransaction(db, state.get());
+    ASSERT_TRUE(r.ok) << r.op;
+    if (std::string(r.op) == "BATCH_READ") saw_batch_read = true;
+    if (std::string(r.op) == "BATCH_INSERT") saw_batch_insert = true;
+    w.OnTransactionOutcome(state.get(), r, true);
+  }
+  EXPECT_TRUE(saw_batch_read);
+  EXPECT_TRUE(saw_batch_insert);
+  ValidationResult result;
+  ASSERT_TRUE(w.Validate(db, kOps, &result).ok());
+  EXPECT_TRUE(result.passed);
+  EXPECT_DOUBLE_EQ(result.anomaly_score, 0.0);
+}
+
 TEST_F(ClosedEconomyTest, WholeWorkloadOverTransactionalStoreStaysConsistent) {
   ClosedEconomyWorkload w;
   Properties p = CewProps(100, 100000);

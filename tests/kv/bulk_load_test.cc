@@ -1,0 +1,196 @@
+// BulkLoad fast path: sorted-run validation, etag continuity with per-key
+// writes, interleaving with pre-existing keys, WAL replay, and the
+// SortedInserter cursor it is built on — including a fresh cursor opened
+// against an already-populated list (once an O(n) restart; see skiplist.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kv/skiplist.h"
+#include "kv/store.h"
+
+namespace ycsbt {
+namespace kv {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%05d", i);
+  return buf;
+}
+
+std::vector<std::pair<std::string, std::string>> SortedRun(int from, int to) {
+  std::vector<std::pair<std::string, std::string>> records;
+  for (int i = from; i < to; ++i) records.emplace_back(Key(i), "v" + Key(i));
+  return records;
+}
+
+TEST(BulkLoadTest, LoadsSortedRunAcrossShards) {
+  StoreOptions options;
+  options.num_shards = 8;  // hash-scatters the run over every shard
+  ShardedStore store(options);
+  ASSERT_TRUE(store.BulkLoad(SortedRun(0, 500)).ok());
+  EXPECT_EQ(store.Count(), 500u);
+  std::string value;
+  for (int i = 0; i < 500; i += 37) {
+    ASSERT_TRUE(store.Get(Key(i), &value).ok());
+    EXPECT_EQ(value, "v" + Key(i));
+  }
+  // The merged scan must come back globally ordered despite sharding.
+  std::vector<ScanEntry> out;
+  ASSERT_TRUE(store.Scan(Key(100), 300, &out).ok());
+  ASSERT_EQ(out.size(), 300u);
+  EXPECT_EQ(out.front().key, Key(100));
+  EXPECT_EQ(out.back().key, Key(399));
+  for (size_t i = 1; i < out.size(); ++i) ASSERT_LT(out[i - 1].key, out[i].key);
+}
+
+TEST(BulkLoadTest, EmptyRunIsANoOp) {
+  ShardedStore store;
+  ASSERT_TRUE(store.BulkLoad({}).ok());
+  EXPECT_EQ(store.Count(), 0u);
+}
+
+TEST(BulkLoadTest, RejectsUnsortedAndDuplicateRuns) {
+  ShardedStore store;
+  Status s = store.BulkLoad({{"b", "1"}, {"a", "2"}});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = store.BulkLoad({{"a", "1"}, {"a", "2"}});  // equal keys are not ascending
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = store.BulkLoad({{"a", "1"}, {"", "2"}});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(store.Count(), 0u);
+}
+
+TEST(BulkLoadTest, EtagsStayContiguousWithPerKeyWrites) {
+  ShardedStore store;
+  uint64_t before = 0;
+  ASSERT_TRUE(store.Put("aaa", "x", &before).ok());
+  ASSERT_TRUE(store.BulkLoad(SortedRun(0, 100)).ok());
+  uint64_t after = 0;
+  ASSERT_TRUE(store.Put("zzz", "y", &after).ok());
+  // The run reserves exactly one etag per record between the two puts.
+  EXPECT_EQ(after, before + 101);
+  uint64_t etag = 0;
+  std::string value;
+  ASSERT_TRUE(store.Get(Key(0), &value, &etag).ok());
+  EXPECT_EQ(etag, before + 1);
+  ASSERT_TRUE(store.Get(Key(99), &value, &etag).ok());
+  EXPECT_EQ(etag, before + 100);
+}
+
+TEST(BulkLoadTest, OverwritesAndInterleavesWithExistingKeys) {
+  ShardedStore store;
+  ASSERT_TRUE(store.Put(Key(5), "old").ok());
+  ASSERT_TRUE(store.Put(Key(250), "kept").ok());
+  ASSERT_TRUE(store.BulkLoad(SortedRun(0, 10)).ok());
+  std::string value;
+  ASSERT_TRUE(store.Get(Key(5), &value).ok());
+  EXPECT_EQ(value, "v" + Key(5));  // run overwrites the equal key
+  ASSERT_TRUE(store.Get(Key(250), &value).ok());
+  EXPECT_EQ(value, "kept");  // keys outside the run are untouched
+  EXPECT_EQ(store.Count(), 11u);
+}
+
+TEST(BulkLoadTest, SequentialRunsCompose) {
+  // The orchestrator feeds the store one sorted batch at a time; each batch
+  // opens fresh cursors against the data the previous batches left behind.
+  ShardedStore store;
+  for (int from = 0; from < 1000; from += 100) {
+    ASSERT_TRUE(store.BulkLoad(SortedRun(from, from + 100)).ok());
+  }
+  EXPECT_EQ(store.Count(), 1000u);
+  std::vector<ScanEntry> out;
+  ASSERT_TRUE(store.Scan("", 1000, &out).ok());
+  ASSERT_EQ(out.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(out[i].key, Key(i));
+}
+
+TEST(BulkLoadTest, ReplaysFromWalAfterRestart) {
+  std::string wal = ::testing::TempDir() + "/bulk_replay.wal";
+  std::remove(wal.c_str());
+  StoreOptions options;
+  options.wal_path = wal;
+  uint64_t tail_etag = 0;
+  {
+    ShardedStore store(options);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.BulkLoad(SortedRun(0, 300)).ok());
+    ASSERT_TRUE(store.Put("tail", "t", &tail_etag).ok());
+  }
+  ShardedStore store(options);
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.Count(), 301u);
+  std::string value;
+  uint64_t etag = 0;
+  ASSERT_TRUE(store.Get(Key(299), &value, &etag).ok());
+  EXPECT_EQ(value, "v" + Key(299));
+  EXPECT_EQ(etag, tail_etag - 1);  // per-record etags survive replay
+  // The etag source resumes past everything the log produced.
+  uint64_t next = 0;
+  ASSERT_TRUE(store.Put("after", "a", &next).ok());
+  EXPECT_GT(next, tail_etag);
+  std::remove(wal.c_str());
+}
+
+TEST(MultiGetTest, ReportsMissingKeysPerRow) {
+  StoreOptions options;
+  options.num_shards = 4;
+  ShardedStore store(options);
+  ASSERT_TRUE(store.BulkLoad(SortedRun(0, 10)).ok());
+  // Missing keys interleave with present ones; each row gets its own status.
+  std::vector<std::string> keys = {Key(3), "missing-a", Key(7), "missing-b",
+                                   Key(0)};
+  std::vector<MultiGetResult> results;
+  store.MultiGet(keys, &results);
+  ASSERT_EQ(results.size(), keys.size());
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[0].value, "v" + Key(3));
+  EXPECT_GT(results[0].etag, 0u);
+  EXPECT_TRUE(results[1].status.IsNotFound());
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_EQ(results[2].value, "v" + Key(7));
+  EXPECT_TRUE(results[3].status.IsNotFound());
+  EXPECT_TRUE(results[4].status.ok());
+  EXPECT_EQ(results[4].value, "v" + Key(0));
+}
+
+TEST(SortedInserterTest, FreshCursorOverPopulatedListStartsMidRange) {
+  // Regression: a cursor opened against existing data must position itself
+  // with a top-down descent, not by walking level 0 from the head.
+  SkipList<int> list;
+  for (int i = 0; i < 2000; i += 2) list.Upsert(Key(i), i);
+  SkipList<int>::SortedInserter cursor(&list);
+  for (int i = 1001; i < 1200; i += 2) EXPECT_TRUE(cursor.Insert(Key(i), i));
+  EXPECT_EQ(list.size(), 1000u + 100u);
+  for (int i = 1001; i < 1200; i += 2) {
+    auto* found = list.Find(Key(i));
+    ASSERT_NE(found, nullptr) << Key(i);
+    EXPECT_EQ(*found, i);
+  }
+  // Order is intact across the splice region.
+  SkipList<int>::Iterator it(&list);
+  std::string prev;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ASSERT_LT(prev, it.key());
+    prev = it.key();
+  }
+}
+
+TEST(SortedInserterTest, OverwritesEqualPreExistingKey) {
+  SkipList<int> list;
+  list.Upsert(Key(10), -1);
+  SkipList<int>::SortedInserter cursor(&list);
+  EXPECT_TRUE(cursor.Insert(Key(9), 9));
+  EXPECT_FALSE(cursor.Insert(Key(10), 10));  // overwrite, not a fresh node
+  EXPECT_TRUE(cursor.Insert(Key(11), 11));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(*list.Find(Key(10)), 10);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace ycsbt
