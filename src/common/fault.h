@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/properties.h"
+
 namespace ycsbt {
 
 /// Named points in the client-coordinated commit pipeline where a simulated
@@ -49,6 +51,53 @@ class CrashInjector {
   /// leaving all store-side state (locks, TSR) exactly as a dead client
   /// would.
   virtual bool ShouldCrash(CrashPoint point) = 0;
+};
+
+/// Deterministic failover/partition script for the replicated cloud store
+/// (`cloud::ReplicatedCloudStore`).  All triggers and durations are
+/// *count-based* by default — expressed in armed request/write arrivals, the
+/// same discipline as the circuit breaker's `cooldown_rejects` — so a
+/// single-threaded same-seed run replays the identical fault timeline and
+/// the identical `FAILOVER-*`/`NOT-LEADER` counters.  `election_us` is the
+/// one wall-clock escape hatch, for tests that need an election to span
+/// real status windows.
+///
+/// Configured from the `cloud.fault.*` property namespace:
+///
+///   cloud.fault.leader_crash_at   write arrival # at which the leader
+///                                 crashes and an election begins (0 = never)
+///   cloud.fault.election_ops      the election completes after this many
+///                                 NotLeader rejections (default 16 when a
+///                                 crash is scripted and election_us is 0)
+///   cloud.fault.election_us       wall-clock election duration; when set it
+///                                 replaces the count-based completion and
+///                                 NotLeader messages carry a
+///                                 `retry_after_us=` hint
+///   cloud.fault.lost_tail         the first N writes arriving mid-election
+///                                 are APPLIED but answered Timeout — the
+///                                 unreplicated tail surfacing as ambiguous
+///                                 commits (default 0)
+///   cloud.fault.partition_region  region cut off from the cluster
+///                                 (-1 = none)
+///   cloud.fault.partition_at      request arrival # at which the partition
+///                                 starts
+///   cloud.fault.partition_ops     the partition heals after this many
+///                                 Unavailable rejections charged to the
+///                                 partitioned region (default 64)
+struct FailoverScript {
+  uint64_t leader_crash_at = 0;
+  uint64_t election_ops = 0;
+  uint64_t election_us = 0;
+  uint64_t lost_tail = 0;
+  int partition_region = -1;
+  uint64_t partition_at = 0;
+  uint64_t partition_ops = 64;
+
+  bool Any() const {
+    return leader_crash_at > 0 || (partition_region >= 0 && partition_at > 0);
+  }
+
+  static FailoverScript FromProperties(const Properties& props);
 };
 
 }  // namespace ycsbt

@@ -27,9 +27,21 @@ constexpr std::string_view kKnownKeys[] = {
     "cew.transfer_accounts",
     "cloud.client_serial_us",
     "cloud.containers",
+    "cloud.fault.election_ops",
+    "cloud.fault.election_us",
+    "cloud.fault.leader_crash_at",
+    "cloud.fault.lost_tail",
+    "cloud.fault.partition_at",
+    "cloud.fault.partition_ops",
+    "cloud.fault.partition_region",
     "cloud.latency_scale",
+    "cloud.local_region",
     "cloud.max_queue_delay_us",
     "cloud.rate_limit",
+    "cloud.read_mode",
+    "cloud.regions",
+    "cloud.replica_lag_ops",
+    "cloud.replica_lag_us",
     "dataintegrity",
     "db",
     "deadline.enforce",
@@ -88,6 +100,7 @@ constexpr std::string_view kKnownKeys[] = {
     "retry.deadline_us",
     "retry.jitter",
     "retry.max_attempts",
+    "retry.throttle_cooldown_us",
     "scanlengthdistribution",
     "scanproportion",
     "seed",
@@ -116,6 +129,7 @@ constexpr std::string_view kKnownKeys[] = {
     "txn.lock_acquire_mode",
     "txn.lock_wait_delay_us",
     "txn.lock_wait_jitter",
+    "txn.lock_wait_max_delay_us",
     "txn.max_inflight",
     "txn.oracle_rtt_us",
     "txn.timestamps",

@@ -47,10 +47,11 @@ RetryPolicy RetryPolicy::FromProperties(const Properties& props) {
 }
 
 uint64_t RetryState::NextBackoffUs(Random64& rng, const Status& failure) {
-  if (failure.IsThrottle()) {
+  if (failure.IsThrottle() || failure.IsLeadershipChange()) {
     // Cooldown, not congestion probing: honour the server's suggested wait
-    // when it is longer, jitter a little so released clients do not stampede
-    // back in lockstep, and leave the exponential ladder where it was.
+    // when it is longer (for NotLeader that is the remaining election
+    // window), jitter a little so released clients do not stampede back in
+    // lockstep, and leave the exponential ladder where it was.
     uint64_t wait = std::max(policy_.throttle_cooldown_us,
                              RetryAfterUsHint(failure));
     if (policy_.decorrelated_jitter && wait > 0) {

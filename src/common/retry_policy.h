@@ -72,6 +72,10 @@ struct RetryPolicy {
 /// different path: the wait is `max(throttle_cooldown_us, retry_after_us
 /// hint)` and the exponential ladder does not advance — backing away from a
 /// saturated container is cooldown behaviour, not congestion probing.
+/// Leadership changes (`Status::IsLeadershipChange()`: a replicated store
+/// said NotLeader mid-election) ride the same path: the failure is not
+/// congestion, so the ladder stays put and the wait honours the election's
+/// `retry_after_us=` redirect hint when present.
 class RetryState {
  public:
   explicit RetryState(const RetryPolicy& policy)

@@ -32,6 +32,8 @@ const char* Status::CodeName(Code code) {
       return "Internal";
     case Code::kUnavailable:
       return "Unavailable";
+    case Code::kNotLeader:
+      return "NotLeader";
   }
   return "Unknown";
 }

@@ -34,6 +34,10 @@ class Status {
     kInternal,         ///< Invariant violation inside a module.
     kUnavailable,      ///< Backend fenced off (circuit breaker open); retry
                        ///< after a cooldown, not a hot backoff.
+    kNotLeader,        ///< Write (or leader read) reached a replica that is
+                       ///< not the leader — mid-election or after a
+                       ///< failover.  The message carries a redirect hint;
+                       ///< retry after re-resolving the leader.
   };
 
   /// Constructs an OK status.
@@ -67,6 +71,9 @@ class Status {
   static Status Unavailable(std::string_view m = "") {
     return Make(Code::kUnavailable, m);
   }
+  static Status NotLeader(std::string_view m = "") {
+    return Make(Code::kNotLeader, m);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -82,13 +89,16 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsNotLeader() const { return code_ == Code::kNotLeader; }
 
   /// True for failures that a transaction retry loop may reasonably retry:
-  /// conflicts, aborts, lock-busy, throttling and breaker fail-fasts.
+  /// conflicts, aborts, lock-busy, throttling, breaker fail-fasts and
+  /// leadership changes.
   bool IsRetryable() const {
     return code_ == Code::kConflict || code_ == Code::kAborted ||
            code_ == Code::kBusy || code_ == Code::kRateLimited ||
-           code_ == Code::kTimeout || code_ == Code::kUnavailable;
+           code_ == Code::kTimeout || code_ == Code::kUnavailable ||
+           code_ == Code::kNotLeader;
   }
 
   /// True for overload/throttle-class failures where retrying hot makes the
@@ -99,6 +109,15 @@ class Status {
   bool IsThrottle() const {
     return code_ == Code::kRateLimited || code_ == Code::kUnavailable;
   }
+
+  /// True when the request was refused because cluster leadership is in
+  /// flux (mid-election, or the client addressed a deposed leader).  Like a
+  /// throttle, this is not a congestion signal: the retry loop should wait
+  /// out the redirect hint (`retry_after_us=` when the election deadline is
+  /// known) and re-resolve the leader instead of climbing the backoff
+  /// ladder — and unlike infrastructure failures it must not count against
+  /// circuit-breaker windows (the backend is healthy, just not in charge).
+  bool IsLeadershipChange() const { return code_ == Code::kNotLeader; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -125,7 +144,7 @@ class Status {
 /// completions per code in a dense array indexed by code, so this must track
 /// the last enumerator above.
 inline constexpr size_t kStatusCodeCount =
-    static_cast<size_t>(Status::Code::kUnavailable) + 1;
+    static_cast<size_t>(Status::Code::kNotLeader) + 1;
 
 }  // namespace ycsbt
 

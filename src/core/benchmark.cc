@@ -41,10 +41,18 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     run.shed = BrownoutOptions::FromProperties(props);
     // Faults perturb only the measured run — the load phase must populate
     // the table completely and the validation sweep must see the store as
-    // it is.
+    // it is.  Same for the replicated store's failover script and replica
+    // lag: while disarmed it replicates synchronously (read routing stays
+    // on, so a stale-mode validation still audits the lagging view).
     if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(true);
+    if (factory->replicated_store() != nullptr) {
+      factory->replicated_store()->set_fault_enabled(true);
+    }
     s = runner.Run(run, result);
     if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(false);
+    if (factory->replicated_store() != nullptr) {
+      factory->replicated_store()->set_fault_enabled(false);
+    }
     if (!s.ok()) return s;
   }
 

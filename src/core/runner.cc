@@ -86,6 +86,18 @@ RunSummary RunResult::MakeSummary() const {
     std::snprintf(favg, sizeof(favg), "%.2f", fanout_avg_width);
     summary.extra.emplace_back("FANOUT AVG WIDTH", favg);
   }
+  if (replication_enabled) {
+    summary.extra.emplace_back("FAILOVERS", std::to_string(failovers));
+    summary.extra.emplace_back("NOT-LEADER REJECTS",
+                               std::to_string(not_leader_rejects));
+    summary.extra.emplace_back("LOST-TAIL WRITES",
+                               std::to_string(lost_tail_writes));
+    summary.extra.emplace_back("STALE READS", std::to_string(stale_reads));
+    summary.extra.emplace_back("REPLICA APPLIES",
+                               std::to_string(replica_applies));
+    summary.extra.emplace_back("PARTITION REJECTS",
+                               std::to_string(partition_rejects));
+  }
   summary.intervals = intervals;
   return summary;
 }
@@ -113,6 +125,10 @@ struct alignas(64) ClientProgress {
   std::atomic<uint64_t> giveups{0};
   std::atomic<uint64_t> backoff_us{0};
   std::atomic<uint64_t> sheds{0};
+  /// Ticks once per bounded slice of a backoff sleep, so a thread waiting
+  /// out a long election/throttle window keeps signalling liveness to the
+  /// stall detector for the whole nap, not just at its start.
+  std::atomic<uint64_t> wait_ticks{0};
   /// Set when the thread exits its loop, so the watchdog's stall detector
   /// does not flag finished threads.
   std::atomic<bool> done{false};
@@ -427,7 +443,19 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                          failure.code());
             ++retries;
             backoff_us += pause_us;
-            if (pause_us != 0) SleepMicros(pause_us);
+            // Publish the retry BEFORE sleeping it out, and slice long naps
+            // (a NotLeader rejection's retry_after_us hint can span several
+            // status windows) so the watchdog keeps seeing progress ticks
+            // for the whole wait: backing off through an election is
+            // degradation, not a stall.
+            mine.retries.store(retries, std::memory_order_relaxed);
+            mine.backoff_us.store(backoff_us, std::memory_order_relaxed);
+            for (uint64_t left = pause_us; left != 0;) {
+              uint64_t slice = std::min<uint64_t>(left, 20'000);
+              SleepMicros(slice);
+              left -= slice;
+              mine.wait_ticks.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         } else {
           op = workload_->DoTransaction(db, state.get());
@@ -486,6 +514,12 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   const std::shared_ptr<RpcExecutor>& fanout = factory_->rpc_executor();
   if (fanout != nullptr) fanout->DrainStats();
 
+  // And the replication layer: the load phase replicates synchronously but
+  // still counts applies, so drop those too.
+  const std::shared_ptr<cloud::ReplicatedCloudStore>& replicated =
+      factory_->replicated_store();
+  if (replicated != nullptr) replicated->DrainStats();
+
   Stopwatch run_watch;
   start_gate.CountDown();
 
@@ -515,10 +549,14 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
               stall_windows[static_cast<size_t>(c)] = 0;
               continue;
             }
-            // Shed transactions count as progress: a thread gracefully
-            // shedding through a brownout is degrading, not stuck.
+            // Shed transactions, in-flight retry attempts and backoff wait
+            // slices count as progress: a thread gracefully shedding
+            // through a brownout, or backing off mid-transaction through an
+            // election/throttle window, is degrading, not stuck.
             uint64_t now_ops = p.ops.load(std::memory_order_relaxed) +
-                               p.sheds.load(std::memory_order_relaxed);
+                               p.sheds.load(std::memory_order_relaxed) +
+                               p.retries.load(std::memory_order_relaxed) +
+                               p.wait_ticks.load(std::memory_order_relaxed);
             if (now_ops == stall_last_ops[static_cast<size_t>(c)]) {
               if (++stall_windows[static_cast<size_t>(c)] >=
                   options.stall_windows) {
@@ -684,6 +722,33 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
     if (fs.batches != 0) {
       measurements_->MergeHistogram(measurements_->RegisterOp("RPC-FANOUT"),
                                     fs.width, Status::Code::kOk);
+    }
+  }
+
+  if (replicated != nullptr) {
+    // Replication/failover activity during the run window, surfaced as
+    // result fields and as series so both exporters render the headline
+    // FAILOVER-*/NOT-LEADER/STALE-READ counters and the REPLICA-LAG
+    // distribution.
+    cloud::ReplicationStats rs = replicated->DrainStats();
+    result->replication_enabled = true;
+    result->failovers = rs.failovers;
+    result->not_leader_rejects = rs.not_leader_rejects;
+    result->lost_tail_writes = rs.lost_tail_writes;
+    result->stale_reads = rs.stale_reads;
+    result->replica_applies = rs.replica_applies;
+    result->partition_rejects = rs.partition_rejects;
+    measurements_->RecordMany(measurements_->RegisterOp("NOT-LEADER"), 0,
+                              Status::Code::kNotLeader, rs.not_leader_rejects);
+    measurements_->RecordMany(measurements_->RegisterOp("FAILOVER-ELECTION"), 0,
+                              Status::Code::kOk, rs.failovers);
+    measurements_->RecordMany(measurements_->RegisterOp("FAILOVER-LOST-TAIL"), 0,
+                              Status::Code::kTimeout, rs.lost_tail_writes);
+    measurements_->RecordMany(measurements_->RegisterOp("STALE-READ"), 0,
+                              Status::Code::kOk, rs.stale_reads);
+    if (rs.replica_lag.Count() != 0) {
+      measurements_->MergeHistogram(measurements_->RegisterOp("REPLICA-LAG"),
+                                    rs.replica_lag, Status::Code::kOk);
     }
   }
 

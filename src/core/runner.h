@@ -64,8 +64,9 @@ struct RunOptions {
   /// Watchdog stall detection: a client thread whose operation counter does
   /// not advance for this many consecutive status windows is flagged (warn
   /// log + `watchdog stalls` summary note).  Needs a status interval; 0
-  /// disables.  Shed transactions count as progress — a thread gracefully
-  /// shedding under brownout is degrading, not stuck.
+  /// disables.  Shed transactions and in-flight retry attempts count as
+  /// progress — a thread gracefully shedding under brownout, or backing off
+  /// through an election/throttle window, is degrading, not stuck.
   int stall_windows = 3;
 
   /// Brownout/load-shedding policy (`shed.*` properties).  When enabled the
@@ -127,6 +128,16 @@ struct RunResult {
   uint64_t fanout_batches = 0;    ///< ParallelForEach calls that fanned out
   uint64_t fanout_items = 0;      ///< total items across those batches
   double fanout_avg_width = 0.0;  ///< mean items per batch
+
+  // Multi-region replication accounting for the run window (all zero unless
+  // `cloud.regions > 1` wired a `cloud::ReplicatedCloudStore`).
+  bool replication_enabled = false;
+  uint64_t failovers = 0;           ///< completed leader elections
+  uint64_t not_leader_rejects = 0;  ///< requests refused mid-election
+  uint64_t lost_tail_writes = 0;    ///< applied-but-unacked election writes
+  uint64_t stale_reads = 0;         ///< reads served from a lagging view
+  uint64_t replica_applies = 0;     ///< replication records delivered
+  uint64_t partition_rejects = 0;   ///< requests refused by a partition
 
   ValidationResult validation;
   std::vector<OpStats> op_stats;

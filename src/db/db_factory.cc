@@ -50,11 +50,17 @@ void DBFactory::MaybeAddResilience() {
   if (!options.breaker.enabled && !options.hedge_enabled && !deadline_wanted) {
     return;
   }
-  // One breaker per backend partition: the cloud store's containers, or the
-  // single local engine.
+  // One breaker per backend partition: the replicated store's regions, the
+  // cloud store's containers, or the single local engine.
   int backends = cloud_ != nullptr ? cloud_->profile().containers : 1;
+  if (replicated_ != nullptr) backends = replicated_->options().regions;
   resilient_store_ =
       std::make_shared<kv::ResilientStore>(front_store_, options, backends);
+  if (replicated_ != nullptr) {
+    std::shared_ptr<cloud::ReplicatedCloudStore> rep = replicated_;
+    resilient_store_->set_backend_resolver(
+        [rep](const std::string& key) { return rep->BreakerBackendFor(key); });
+  }
   front_store_ = resilient_store_;
 }
 
@@ -96,6 +102,17 @@ Status DBFactory::BuildBase(const std::string& base_name) {
     double scale = props_.GetDouble("cloud.latency_scale", 1.0);
     if (scale != 1.0) cloud_->ScaleLatency(scale);
     front_store_ = cloud_;
+    if (props_.GetInt("cloud.regions", 1) > 1) {
+      cloud::ReplicationOptions ropts;
+      Status rs = cloud::ReplicationOptions::FromProperties(props_, &ropts);
+      if (!rs.ok()) return rs;
+      // Replication lag draws from its own stream off the run seed, so
+      // turning regions on never shifts the workload/fault draws.
+      ropts.seed = props_.GetUint("seed", 0x5EEDBA5Eull) ^ 0x5EEDFA11ull;
+      replicated_ = std::make_shared<cloud::ReplicatedCloudStore>(
+          cloud_, local_engine_, ropts);
+      front_store_ = replicated_;
+    }
     return Status::OK();
   }
   return Status::InvalidArgument("unknown base store: " + base_name);

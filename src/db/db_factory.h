@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "cloud/replicated_cloud_store.h"
 #include "cloud/sim_cloud_store.h"
 #include "common/properties.h"
 #include "common/rpc_executor.h"
@@ -60,6 +61,13 @@ namespace ycsbt {
 /// including any fault decorator, so the breaker sees injected throttles —
 /// is additionally wrapped in a `kv::ResilientStore` (circuit breakers,
 /// hedged reads, deadline fail-fast; `breaker.*`/`hedge.*` properties).
+///
+/// When `cloud.regions > 1` on a cloud binding, the simulated cloud store
+/// is first wrapped in a `cloud::ReplicatedCloudStore` (leader/follower
+/// regions, per-replica apply lag, read-mode routing, scripted
+/// failover/partition faults; `cloud.read_mode`, `cloud.replica_lag_*`,
+/// `cloud.fault.*`).  The resilience layer then runs one breaker per
+/// *region* and charges each key's breaker to the region serving it.
 class DBFactory {
  public:
   explicit DBFactory(Properties props) : props_(std::move(props)) {}
@@ -92,6 +100,11 @@ class DBFactory {
   /// benches and tests to reach behind the DB abstraction.
   const std::shared_ptr<kv::Store>& front_store() const { return front_store_; }
   const std::shared_ptr<cloud::SimCloudStore>& cloud_store() const { return cloud_; }
+  /// Non-null iff `cloud.regions > 1` on a cloud binding; the benchmark
+  /// driver arms its fault script with `set_fault_enabled` around the run.
+  const std::shared_ptr<cloud::ReplicatedCloudStore>& replicated_store() const {
+    return replicated_;
+  }
   const std::shared_ptr<txn::TransactionalKV>& txn_kv() const { return txn_kv_; }
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
   /// Non-null iff fault injection is configured; arm with `set_enabled`.
@@ -137,6 +150,7 @@ class DBFactory {
   std::shared_ptr<kv::FaultInjectingStore> fault_store_;
   std::shared_ptr<kv::ResilientStore> resilient_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;
+  std::shared_ptr<cloud::ReplicatedCloudStore> replicated_;
   std::shared_ptr<RpcExecutor> rpc_executor_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;
   txn::ClientTxnStore* client_txn_store_ = nullptr;  // owned via txn_kv_

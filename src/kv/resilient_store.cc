@@ -95,7 +95,10 @@ Status ResilientStore::Preflight(const std::string& key, CircuitBreaker** b,
     return Status::Timeout("op deadline expired; request abandoned");
   }
   if (breakers_ != nullptr) {
-    CircuitBreaker& breaker = breakers_->ForKey(key);
+    CircuitBreaker& breaker =
+        backend_resolver_
+            ? breakers_->backend(backend_resolver_(key) % breakers_->backends())
+            : breakers_->ForKey(key);
     CircuitBreaker::Ticket ticket = breaker.Admit();
     if (!ticket.admitted) {
       // Advertise the wall-clock cooldown only when it is the operative

@@ -122,6 +122,16 @@ class ResilientStore : public Store {
     executor_ = std::move(executor);
   }
 
+  /// Overrides the key->backend mapping the per-backend breakers charge.
+  /// By default keys hash over the backends (the cloud store's container
+  /// partitioning); a replicated store instead supplies the *region*
+  /// currently serving the key, so a partitioned region's failures open
+  /// only that region's breaker.  Install before traffic; must be
+  /// thread-safe and return an index < the construction-time `backends`.
+  void set_backend_resolver(std::function<size_t(const std::string&)> resolver) {
+    backend_resolver_ = std::move(resolver);
+  }
+
   ResilienceStats stats() const;
   /// True while any backend's breaker is Open — the brownout trigger.
   bool AnyBreakerOpen() const {
@@ -192,6 +202,7 @@ class ResilientStore : public Store {
   const std::shared_ptr<Store> base_;
   const ResilienceOptions options_;
   std::unique_ptr<CircuitBreakerSet> breakers_;  // null when breaker is off
+  std::function<size_t(const std::string&)> backend_resolver_;  // null = hash
   std::shared_ptr<RpcExecutor> executor_;        // null = sequential batches
 
   std::atomic<uint64_t> hedges_sent_{0};

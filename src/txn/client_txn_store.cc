@@ -191,12 +191,16 @@ class ClientTxn : public Transaction {
     s = store_->base_->ConditionalPut(tsr_key, EncodeTsr(tsr), kv::kEtagAbsent);
     if (!s.ok()) {
       bool committed_after_all = false;
-      if (!s.IsConflict()) {
+      if (!s.IsConflict() && !s.IsLeadershipChange()) {
         // Ambiguous commit point: the reply was lost, so the TSR may or may
         // not be in the store.  The TSR key is the atomic arbiter — re-read
         // it until the outcome is known before touching any lock.  Exempt
         // from deadline/breaker fail-fast: cutting the settle loop short
         // abandons a possibly-committed transaction to recovery.
+        // (Conflict and NotLeader are NOT ambiguous: a lost CAS means
+        // another writer owns the key, and a mid-election gate rejects the
+        // request before it can touch the store — the TSR definitively
+        // never landed and the transaction may abort cleanly.)
         OpExemptScope settle_exempt;
         Status rs = SettleAmbiguousCommit(tsr_key, &committed_after_all);
         if (!rs.ok()) return rs;  // abandoned as crashed; recovery settles it
@@ -213,6 +217,12 @@ class ClientTxn : public Transaction {
         }
         state_ = State::kAborted;
         store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+        if (s.IsLeadershipChange()) {
+          // Surface NotLeader itself: the retry loop classifies it as a
+          // leadership change and waits out the election's redirect hint
+          // instead of climbing the backoff ladder.
+          return s;
+        }
         return Status::Aborted("commit denied: " + s.ToString());
       }
     }
@@ -707,6 +717,13 @@ class ClientTxn : public Transaction {
   /// retrying a transaction whose first incarnation might still commit
   /// would apply its effects twice.
   Status SettleAmbiguousCommit(const std::string& tsr_key, bool* committed) {
+    // A leader election is patience, not unreachability: the re-read will
+    // succeed against the new leader once the election completes, so
+    // NotLeader answers spend a separate (much larger) wait budget instead
+    // of the unreachable-store attempt budget.  Each re-read also counts
+    // against a count-scripted election's completion budget, so the loop
+    // itself drives the failover forward.
+    int leadership_waits = 1024;
     for (int attempt = 0; attempt < 64; ++attempt) {
       std::string data;
       Status g = store_->base_->Get(tsr_key, &data);
@@ -720,6 +737,13 @@ class ClientTxn : public Transaction {
       if (g.IsNotFound()) {
         *committed = false;  // the write never landed
         return Status::OK();
+      }
+      if (g.IsLeadershipChange() && leadership_waits > 0) {
+        --leadership_waits;
+        uint64_t hint = RetryAfterUsHint(g);
+        SleepMicros(hint > 0 ? std::min<uint64_t>(hint, 5'000) : 100);
+        --attempt;  // an election in progress is not a failed re-read
+        continue;
       }
       SleepMicros(100);
     }

@@ -231,6 +231,48 @@ TEST(RetryStateTest, ThrottleJitterStaysWithinAQuarter) {
   }
 }
 
+TEST(RetryStateTest, LeadershipChangeRidesTheThrottlePathNotTheLadder) {
+  // Regression for failover handling: NotLeader is a server-state signal
+  // like a throttle — the client should wait out the election window, not
+  // climb the congestion ladder as if the store were overloaded.
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 100'000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  p.throttle_cooldown_us = 3000;
+  RetryState state(p);
+  Random64 rng(1);
+  ASSERT_TRUE(Status::NotLeader("election").IsLeadershipChange());
+  ASSERT_TRUE(Status::NotLeader("election").IsRetryable());
+  EXPECT_FALSE(Status::Unavailable("down").IsLeadershipChange());
+  EXPECT_EQ(state.NextBackoffUs(rng), 100u);
+  EXPECT_EQ(state.NextBackoffUs(
+                rng, Status::NotLeader("election in progress")),
+            3000u);
+  EXPECT_EQ(state.NextBackoffUs(
+                rng, Status::NotLeader("election in progress")),
+            3000u);
+  EXPECT_EQ(state.NextBackoffUs(rng), 200u);  // ladder resumed where it was
+}
+
+TEST(RetryStateTest, NotLeaderRetryAfterHintOverridesTheCooldown) {
+  // A wall-clock-scripted election embeds the remaining window in the
+  // rejection; the client should wait that out rather than hammering.
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.decorrelated_jitter = false;
+  p.throttle_cooldown_us = 1000;
+  RetryState state(p);
+  Random64 rng(1);
+  EXPECT_EQ(state.NextBackoffUs(
+                rng, Status::NotLeader(
+                         "not leader: election in progress; "
+                         "redirect=region-1; retry_after_us=9000")),
+            9000u);
+}
+
 TEST(RetryPolicyTest, ThrottleCooldownDefaultsToTheBreakerCooldown) {
   Properties props;
   props.Set("breaker.cooldown_us", "40000");
