@@ -4,6 +4,10 @@
 // consolidated results tree and prints the roll-up table.  Replaces the
 // retired per-figure mains; their sweeps live in workloads/suites/.
 //
+// Sweeps take any registered property, including dotted namespaces — e.g.
+// `sweep.arrival.rate=500,1000,2000` drives the open-loop offered-rate curve
+// of workloads/suites/fig2_open_loop.suite (DESIGN.md §13).
+//
 //   ycsbt_suite -S workloads/suites/fig2_cloud_throughput.suite
 //               [-o results/fig2] [-p base.threads=4] ...
 //

@@ -11,6 +11,17 @@ namespace {
 // sorted order and add new keys alongside the code that reads them.
 constexpr std::string_view kKnownKeys[] = {
     "2pl.lock_timeout_us",
+    "arrival.diurnal.low_frac",
+    "arrival.diurnal.period_s",
+    "arrival.flash.at_s",
+    "arrival.flash.duration_s",
+    "arrival.flash.multiplier",
+    "arrival.hotspot_shift.at_s",
+    "arrival.hotspot_shift.multiplier",
+    "arrival.max_backlog",
+    "arrival.process",
+    "arrival.rate",
+    "arrival.shape",
     "basicdb.delay_us",
     "batch.size",
     "batch.size_distribution",

@@ -1,0 +1,150 @@
+#include "core/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ycsbt {
+namespace core {
+
+namespace {
+
+/// Below this the scripted rate is clamped: a shape trough of exactly zero
+/// would make the next gap infinite and wedge the schedule forever.
+constexpr double kMinRate = 1e-3;
+
+Status ParseProcess(const std::string& value, ArrivalOptions::Process* out) {
+  if (value == "exponential") {
+    *out = ArrivalOptions::Process::kExponential;
+  } else if (value == "fixed") {
+    *out = ArrivalOptions::Process::kFixed;
+  } else {
+    return Status::InvalidArgument(
+        "arrival.process must be exponential or fixed, got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseShape(const std::string& value, ArrivalOptions::Shape* out) {
+  if (value == "constant") {
+    *out = ArrivalOptions::Shape::kConstant;
+  } else if (value == "diurnal") {
+    *out = ArrivalOptions::Shape::kDiurnal;
+  } else if (value == "flash_crowd") {
+    *out = ArrivalOptions::Shape::kFlashCrowd;
+  } else if (value == "hotspot_shift") {
+    *out = ArrivalOptions::Shape::kHotspotShift;
+  } else {
+    return Status::InvalidArgument(
+        "arrival.shape must be constant, diurnal, flash_crowd or "
+        "hotspot_shift, got '" +
+        value + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ArrivalOptions::FromProperties(const Properties& props,
+                                      ArrivalOptions* out) {
+  *out = ArrivalOptions{};
+  out->rate = props.GetDouble("arrival.rate", 0.0);
+  if (out->rate < 0.0) {
+    return Status::InvalidArgument("arrival.rate must be >= 0");
+  }
+  Status s = ParseProcess(props.Get("arrival.process", "exponential"),
+                          &out->process);
+  if (!s.ok()) return s;
+  out->max_backlog = props.GetUint("arrival.max_backlog", 1024);
+  if (out->max_backlog == 0) {
+    return Status::InvalidArgument("arrival.max_backlog must be >= 1");
+  }
+  s = ParseShape(props.Get("arrival.shape", "constant"), &out->shape);
+  if (!s.ok()) return s;
+
+  out->diurnal_period_s = props.GetDouble("arrival.diurnal.period_s", 60.0);
+  out->diurnal_low_frac = props.GetDouble("arrival.diurnal.low_frac", 0.25);
+  out->flash_at_s = props.GetDouble("arrival.flash.at_s", 1.0);
+  out->flash_duration_s = props.GetDouble("arrival.flash.duration_s", 1.0);
+  out->flash_multiplier = props.GetDouble("arrival.flash.multiplier", 4.0);
+  out->shift_at_s = props.GetDouble("arrival.hotspot_shift.at_s", 1.0);
+  out->shift_multiplier = props.GetDouble("arrival.hotspot_shift.multiplier", 2.0);
+
+  if (out->diurnal_period_s <= 0.0) {
+    return Status::InvalidArgument("arrival.diurnal.period_s must be > 0");
+  }
+  if (out->diurnal_low_frac < 0.0 || out->diurnal_low_frac > 1.0) {
+    return Status::InvalidArgument("arrival.diurnal.low_frac must be in [0, 1]");
+  }
+  if (out->flash_duration_s <= 0.0) {
+    return Status::InvalidArgument("arrival.flash.duration_s must be > 0");
+  }
+  if (out->flash_multiplier <= 0.0 || out->shift_multiplier <= 0.0) {
+    return Status::InvalidArgument("arrival shape multipliers must be > 0");
+  }
+  return Status::OK();
+}
+
+double ArrivalRateAt(const ArrivalOptions& options, double elapsed_s) {
+  double multiplier = 1.0;
+  switch (options.shape) {
+    case ArrivalOptions::Shape::kConstant:
+      break;
+    case ArrivalOptions::Shape::kDiurnal: {
+      // Raised cosine starting at the trough: low_frac at t=0, 1.0 at half a
+      // period, back to low_frac at a full period.
+      double phase = 2.0 * M_PI * (elapsed_s / options.diurnal_period_s);
+      double wave = 0.5 * (1.0 - std::cos(phase));
+      multiplier = options.diurnal_low_frac +
+                   (1.0 - options.diurnal_low_frac) * wave;
+      break;
+    }
+    case ArrivalOptions::Shape::kFlashCrowd:
+      if (elapsed_s >= options.flash_at_s &&
+          elapsed_s < options.flash_at_s + options.flash_duration_s) {
+        multiplier = options.flash_multiplier;
+      }
+      break;
+    case ArrivalOptions::Shape::kHotspotShift:
+      // A neighbouring hotspot's traffic lands here mid-run and stays: a
+      // sustained step, where the flash crowd is a transient burst.
+      if (elapsed_s >= options.shift_at_s) multiplier = options.shift_multiplier;
+      break;
+  }
+  return std::max(options.rate * multiplier, kMinRate);
+}
+
+ArrivalSchedule::ArrivalSchedule(const ArrivalOptions& options, uint64_t seed,
+                                 int thread_id, int thread_count)
+    : options_(options),
+      thread_share_(1.0 / static_cast<double>(std::max(thread_count, 1))),
+      rng_(seed ^ 0xA881Full ^ (static_cast<uint64_t>(thread_id) << 32)) {
+  // Fixed-interval threads start phase-staggered so N threads produce an
+  // evenly spaced aggregate stream, not N-wide synchronized bursts.
+  if (options_.process == ArrivalOptions::Process::kFixed &&
+      thread_count > 1 && options_.rate > 0.0) {
+    next_ns_ = static_cast<uint64_t>(static_cast<double>(thread_id) * 1e9 /
+                                     options_.rate);
+  }
+  next_ns_ += DrawGapNs();
+}
+
+uint64_t ArrivalSchedule::DrawGapNs() {
+  double rate = ArrivalRateAt(options_, static_cast<double>(next_ns_) / 1e9) *
+                thread_share_;
+  double gap_s;
+  if (options_.process == ArrivalOptions::Process::kFixed) {
+    gap_s = 1.0 / rate;
+  } else {
+    // Inverse-CDF exponential draw; clamp the uniform away from 0 so the gap
+    // stays finite.
+    double u = rng_.NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    gap_s = -std::log(u) / rate;
+  }
+  return static_cast<uint64_t>(gap_s * 1e9) + 1;  // ns; never a zero gap
+}
+
+void ArrivalSchedule::Pop() { next_ns_ += DrawGapNs(); }
+
+}  // namespace core
+}  // namespace ycsbt

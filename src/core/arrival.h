@@ -1,0 +1,105 @@
+#ifndef YCSBT_CORE_ARRIVAL_H_
+#define YCSBT_CORE_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ycsbt {
+namespace core {
+
+/// Open-loop arrival scheduling (DESIGN.md §13), from the `arrival.*`
+/// namespace:
+///
+///   arrival.rate          aggregate arrivals/sec across all client threads;
+///                         > 0 switches the runner from closed-loop to
+///                         open-loop (default 0 = closed loop)
+///   arrival.process       exponential (Poisson arrivals, default) | fixed
+///                         (evenly spaced slots, staggered across threads)
+///   arrival.max_backlog   pending-arrival cap per client thread; arrivals
+///                         due while the backlog is full are *dropped*
+///                         (ARRIVAL-DROP) instead of queueing without bound
+///                         (default 1024)
+///   arrival.shape         constant (default) | diurnal | flash_crowd |
+///                         hotspot_shift — scripted modulation of the rate
+///                         over the run
+///
+/// Shape-specific keys (all rates are multiples of `arrival.rate`):
+///
+///   arrival.diurnal.period_s      full trough→peak→trough cycle (default 60)
+///   arrival.diurnal.low_frac      trough rate as a fraction of the peak
+///                                 (default 0.25); the run starts at the trough
+///   arrival.flash.at_s            flash-crowd onset (default 1)
+///   arrival.flash.duration_s      how long the crowd stays (default 1)
+///   arrival.flash.multiplier      rate multiple during the flash (default 4)
+///   arrival.hotspot_shift.at_s    moment traffic shifts onto this service
+///                                 (default 1)
+///   arrival.hotspot_shift.multiplier  sustained rate multiple after the
+///                                 shift (default 2)
+struct ArrivalOptions {
+  enum class Process { kExponential, kFixed };
+  enum class Shape { kConstant, kDiurnal, kFlashCrowd, kHotspotShift };
+
+  double rate = 0.0;
+  Process process = Process::kExponential;
+  uint64_t max_backlog = 1024;
+  Shape shape = Shape::kConstant;
+
+  double diurnal_period_s = 60.0;
+  double diurnal_low_frac = 0.25;
+  double flash_at_s = 1.0;
+  double flash_duration_s = 1.0;
+  double flash_multiplier = 4.0;
+  double shift_at_s = 1.0;
+  double shift_multiplier = 2.0;
+
+  /// True when the runner should schedule arrivals instead of running
+  /// closed-loop.
+  bool open_loop() const { return rate > 0.0; }
+
+  /// Parses the `arrival.*` namespace; InvalidArgument on an unknown
+  /// process/shape name or non-positive shape parameters.
+  static Status FromProperties(const Properties& props, ArrivalOptions* out);
+};
+
+/// The scripted arrival rate (arrivals/sec, across all threads) at `elapsed_s`
+/// seconds into the run.  Pure function of the options, so every thread and
+/// every test sees the same traffic script.
+double ArrivalRateAt(const ArrivalOptions& options, double elapsed_s);
+
+/// One client thread's deterministic arrival schedule: a stream of intended
+/// transaction start times (nanosecond offsets from the thread's run start),
+/// drawn from this thread's 1/`thread_count` share of the scripted rate.
+///
+/// Draws are seeded from the run seed and the thread id, so two same-seed
+/// runs replay identical schedules — the intended-start timeline is part of
+/// the experiment's definition, not a wall-clock artifact.  Time-varying
+/// shapes are applied by evaluating the scripted rate at the schedule's own
+/// position (an inhomogeneous process via per-gap rate evaluation).
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(const ArrivalOptions& options, uint64_t seed, int thread_id,
+                  int thread_count);
+
+  /// Offset (ns from run start) of the next not-yet-consumed arrival.
+  uint64_t PeekNs() const { return next_ns_; }
+
+  /// Consumes the current arrival and draws the next one.
+  void Pop();
+
+ private:
+  uint64_t DrawGapNs();
+
+  ArrivalOptions options_;
+  double thread_share_;  ///< this thread's fraction of the aggregate rate
+  Random64 rng_;
+  uint64_t next_ns_ = 0;
+};
+
+}  // namespace core
+}  // namespace ycsbt
+
+#endif  // YCSBT_CORE_ARRIVAL_H_

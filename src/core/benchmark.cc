@@ -39,6 +39,8 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     run.stall_windows = static_cast<int>(props.GetInt("status.stall_windows", 3));
     run.retry = RetryPolicy::FromProperties(props);
     run.shed = BrownoutOptions::FromProperties(props);
+    s = ArrivalOptions::FromProperties(props, &run.arrival);
+    if (!s.ok()) return s;
     // Faults perturb only the measured run — the load phase must populate
     // the table completely and the validation sweep must see the store as
     // it is.  Same for the replicated store's failover script and replica

@@ -53,7 +53,8 @@ class BrownoutController {
   /// True while shedding decisions apply.
   bool BrownedOut() const {
     return (resilience_ != nullptr && resilience_->AnyBreakerOpen()) ||
-           latency_brownout_.load(std::memory_order_relaxed);
+           latency_brownout_.load(std::memory_order_relaxed) ||
+           arrival_brownout_.load(std::memory_order_relaxed);
   }
 
   /// Whether the runner should bother computing the read-only peek.
@@ -105,6 +106,21 @@ class BrownoutController {
     }
   }
 
+  /// Open-loop arrival feed (the third brownout trigger, after breakers and
+  /// queue delay): a client thread reports its pending-arrival backlog depth
+  /// each iteration.  A full backlog — the scheduler is dropping arrivals —
+  /// enters brownout; draining back below half the cap leaves it.  While
+  /// browned out the existing shed path applies, so an overloaded open-loop
+  /// run degrades (reads shed first) instead of queueing without bound.
+  void ReportArrivalBacklog(uint64_t depth, uint64_t cap) {
+    if (cap == 0) return;
+    if (depth >= cap) {
+      arrival_brownout_.store(true, std::memory_order_relaxed);
+    } else if (depth <= cap / 2) {
+      arrival_brownout_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
   uint64_t shed_reads() const {
     return shed_reads_.load(std::memory_order_relaxed);
@@ -118,6 +134,7 @@ class BrownoutController {
   std::atomic<int> inflight_{0};
   std::atomic<int> hot_windows_{0};
   std::atomic<bool> latency_brownout_{false};
+  std::atomic<bool> arrival_brownout_{false};
   std::atomic<uint64_t> sheds_{0};
   std::atomic<uint64_t> shed_reads_{0};
 };

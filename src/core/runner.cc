@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <deque>
 #include <iterator>
 #include <limits>
 #include <thread>
@@ -70,6 +71,12 @@ RunSummary RunResult::MakeSummary() const {
     summary.extra.emplace_back("SHED TXNS", std::to_string(shed_txns));
     summary.extra.emplace_back("SHED READS", std::to_string(shed_reads));
   }
+  if (arrival_enabled) {
+    summary.extra.emplace_back("ARRIVAL DROPS", std::to_string(arrival_drops));
+    summary.extra.emplace_back("BACKLOG PEAK", std::to_string(backlog_peak));
+    summary.extra.emplace_back("SCHED-LAG MAX(us)",
+                               std::to_string(sched_lag_max_us));
+  }
   if (wal_appends != 0) {
     summary.extra.emplace_back("WAL APPENDS", std::to_string(wal_appends));
     summary.extra.emplace_back("WAL SYNCS", std::to_string(wal_syncs));
@@ -99,6 +106,7 @@ RunSummary RunResult::MakeSummary() const {
                                std::to_string(partition_rejects));
   }
   summary.intervals = intervals;
+  summary.open_loop = arrival_enabled;
   return summary;
 }
 
@@ -125,6 +133,15 @@ struct alignas(64) ClientProgress {
   std::atomic<uint64_t> giveups{0};
   std::atomic<uint64_t> backoff_us{0};
   std::atomic<uint64_t> sheds{0};
+  /// Open-loop arrival bookkeeping: cumulative intended-vs-actual start lag
+  /// (and its per-thread maximum), the current and peak pending-arrival
+  /// backlog, and arrivals dropped over a full backlog.  All zero in
+  /// closed-loop runs.
+  std::atomic<uint64_t> sched_lag_sum_us{0};
+  std::atomic<uint64_t> sched_lag_max_us{0};
+  std::atomic<uint64_t> backlog{0};
+  std::atomic<uint64_t> backlog_peak{0};
+  std::atomic<uint64_t> arrival_drops{0};
   /// Ticks once per bounded slice of a backoff sleep, so a thread waiting
   /// out a long election/throttle window keeps signalling liveness to the
   /// stall detector for the whole nap, not just at its start.
@@ -143,29 +160,59 @@ uint64_t SumProgress(const std::vector<ClientProgress>& progress, Field field) {
   return total;
 }
 
-/// Per-thread cache of `TX-<OP>` series handles.  Workloads report ops as
-/// string literals, so a pointer-identity scan over a handful of entries
-/// resolves the series without building a string or hashing; a miss (first
-/// sight of an op, or a non-literal pointer) interns through the registry
-/// and is remembered.
+/// Maximum of one field across all client progress lines.
+template <typename Field>
+uint64_t MaxProgress(const std::vector<ClientProgress>& progress, Field field) {
+  uint64_t max_value = 0;
+  for (const auto& p : progress) {
+    max_value = std::max(max_value, (p.*field).load(std::memory_order_relaxed));
+  }
+  return max_value;
+}
+
+/// Per-thread cache of `TX-<OP><suffix>` series handles.  Workloads report
+/// ops as string literals, so a pointer-identity scan over a handful of
+/// entries resolves the series without building a string or hashing; a miss
+/// (first sight of an op, or a non-literal pointer) interns through the
+/// registry and is remembered.  The suffix distinguishes the actual-start
+/// series ("") from the open-loop intended-start series ("-INTENDED").
 class TxSeriesCache {
  public:
-  explicit TxSeriesCache(Measurements* measurements)
-      : measurements_(measurements) {}
+  explicit TxSeriesCache(Measurements* measurements, const char* suffix = "")
+      : measurements_(measurements), suffix_(suffix) {}
 
   OpId Get(const char* op) {
     for (const auto& [ptr, id] : entries_) {
       if (ptr == op) return id;
     }
-    OpId id = measurements_->RegisterOp(std::string("TX-") + op);
+    OpId id = measurements_->RegisterOp(std::string("TX-") + op + suffix_);
     entries_.emplace_back(op, id);
     return id;
   }
 
  private:
   Measurements* measurements_;
+  const char* suffix_;
   std::vector<std::pair<const char*, OpId>> entries_;
 };
+
+/// Sleeps until the monotonic deadline, in bounded slices: each slice ticks
+/// the thread's `wait_ticks` progress channel (so the watchdog never
+/// mistakes a long pacing/arrival wait for a stall), the deadline is
+/// re-checked after every slice with the sub-microsecond remainder rounded
+/// *up* (so a throttled thread never wakes early and the achieved rate never
+/// overshoots the target), and a raised stop flag abandons the wait.
+void SlicedWaitUntil(uint64_t deadline_ns, const std::atomic<bool>& stop,
+                     std::atomic<uint64_t>* wait_ticks) {
+  for (;;) {
+    uint64_t now = SteadyNanos();
+    if (now >= deadline_ns) return;
+    if (stop.load(std::memory_order_relaxed)) return;
+    uint64_t left_us = (deadline_ns - now + 999) / 1000;  // ceil: never early
+    SleepMicros(std::min<uint64_t>(left_us, 20'000));
+    wait_ticks->fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 }  // namespace
 
@@ -325,8 +372,15 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   std::vector<Status> init_errors(static_cast<size_t>(threads));
   pool.reserve(static_cast<size_t>(threads));
 
+  bool open_loop = options.arrival.open_loop();
+  if (open_loop && options.target_ops_per_sec > 0.0) {
+    YCSBT_WARN("both arrival.rate and target are set; open-loop arrival "
+               "scheduling wins and the closed-loop throttle is ignored");
+  }
   double per_thread_target =
-      options.target_ops_per_sec > 0.0 ? options.target_ops_per_sec / threads : 0.0;
+      !open_loop && options.target_ops_per_sec > 0.0
+          ? options.target_ops_per_sec / threads
+          : 0.0;
 
   // Brownout admission control, shared by all client threads; wired to the
   // factory's resilience layer so an Open breaker flips the system into
@@ -360,9 +414,16 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       }
       auto state = workload_->InitThread(t, threads);
       TxSeriesCache tx_series(measurements_);
+      TxSeriesCache tx_intended_series(measurements_, "-INTENDED");
       OpId retry_series = measurements_->RegisterOp("TX-RETRY");
       OpId giveup_series = measurements_->RegisterOp("TX-GIVEUP");
       OpId shed_series = measurements_->RegisterOp("SHED");
+      OpId sched_lag_series, backlog_series, drop_series;
+      if (open_loop) {
+        sched_lag_series = measurements_->RegisterOp("SCHED-LAG");
+        backlog_series = measurements_->RegisterOp("BACKLOG");
+        drop_series = measurements_->RegisterOp("ARRIVAL-DROP");
+      }
       ClientProgress& mine = progress[static_cast<size_t>(t)];
       uint64_t quota = options.operation_count == 0
                            ? std::numeric_limits<uint64_t>::max()
@@ -371,18 +432,85 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
       // never perturbs the workload's deterministic key/op streams.
       Random64 backoff_rng(workload_->base_seed() ^ 0xBACC0FFull ^
                            (static_cast<uint64_t>(t) << 32));
+      // Open-loop mode: this thread owns 1/threads of the scripted aggregate
+      // rate and draws its intended start times ahead of execution, so a slow
+      // transaction makes the *next* arrivals late (queueing we measure)
+      // instead of postponing them (coordinated omission).  Arrivals that
+      // come due mid-transaction queue in a bounded backlog; overflow drops
+      // consume quota slots like sheds so overloaded runs still terminate.
+      std::unique_ptr<ArrivalSchedule> arrival_sched;
+      if (open_loop) {
+        arrival_sched = std::make_unique<ArrivalSchedule>(
+            options.arrival, workload_->base_seed(), t, threads);
+      }
+      std::deque<uint64_t> backlog_q;  // due-but-unexecuted arrival offsets (ns)
 
       start_gate.Wait();
+      uint64_t start_ns = SteadyNanos();
       uint64_t interval_ns =
           per_thread_target > 0.0 ? static_cast<uint64_t>(1e9 / per_thread_target) : 0;
-      uint64_t next_op_ns = SteadyNanos();
+      uint64_t next_op_ns = start_ns;
 
       uint64_t ops = 0, committed = 0, failed = 0, latency_sum_us = 0;
       uint64_t retries = 0, giveups = 0, backoff_us = 0, sheds = 0;
-      for (uint64_t i = 0; i < quota && !stop.load(std::memory_order_relaxed); ++i) {
-        if (interval_ns != 0) {
+      uint64_t arrival_drops = 0, backlog_peak = 0;
+      uint64_t sched_lag_sum_us = 0, sched_lag_max_us = 0;
+      uint64_t budget_used = 0;
+      while (budget_used < quota && !stop.load(std::memory_order_relaxed)) {
+        ++budget_used;  // this iteration's slot: an executed, shed or dropped txn
+        uint64_t lag_us = 0;
+        if (open_loop) {
+          // Take the oldest due arrival, or wait for the next scheduled one.
+          uint64_t sched_off_ns;
+          if (!backlog_q.empty()) {
+            sched_off_ns = backlog_q.front();
+            backlog_q.pop_front();
+          } else {
+            sched_off_ns = arrival_sched->PeekNs();
+            arrival_sched->Pop();
+            SlicedWaitUntil(start_ns + sched_off_ns, stop, &mine.wait_ticks);
+          }
           uint64_t now = SteadyNanos();
-          if (now < next_op_ns) SleepMicros((next_op_ns - now) / 1000);
+          uint64_t now_off_ns = now > start_ns ? now - start_ns : 0;
+          // Pull every arrival already due into the backlog; once it is full
+          // the rest are dropped (each consuming a quota slot) — the honest
+          // open-loop account of offered load the system never absorbed.
+          while (arrival_sched->PeekNs() <= now_off_ns) {
+            if (backlog_q.size() <
+                static_cast<size_t>(options.arrival.max_backlog)) {
+              backlog_q.push_back(arrival_sched->PeekNs());
+            } else if (budget_used < quota) {
+              ++budget_used;
+              ++arrival_drops;
+              sink->Record(drop_series, 0, Status::Code::kUnavailable);
+            } else {
+              break;
+            }
+            arrival_sched->Pop();
+          }
+          if (now_off_ns > sched_off_ns) {
+            lag_us = (now_off_ns - sched_off_ns) / 1000;
+          }
+          sched_lag_sum_us += lag_us;
+          sched_lag_max_us = std::max(sched_lag_max_us, lag_us);
+          backlog_peak = std::max<uint64_t>(backlog_peak, backlog_q.size());
+          sink->Measure(sched_lag_series, static_cast<int64_t>(lag_us));
+          sink->Measure(backlog_series,
+                        static_cast<int64_t>(backlog_q.size()));
+          // A full backlog is the third brownout trigger: the system is not
+          // keeping up with the offered rate, so start shedding before the
+          // queue turns into unbounded latency.
+          if (brownout != nullptr) {
+            brownout->ReportArrivalBacklog(backlog_q.size(),
+                                           options.arrival.max_backlog);
+          }
+          mine.sched_lag_sum_us.store(sched_lag_sum_us, std::memory_order_relaxed);
+          mine.sched_lag_max_us.store(sched_lag_max_us, std::memory_order_relaxed);
+          mine.backlog.store(backlog_q.size(), std::memory_order_relaxed);
+          mine.backlog_peak.store(backlog_peak, std::memory_order_relaxed);
+          mine.arrival_drops.store(arrival_drops, std::memory_order_relaxed);
+        } else if (interval_ns != 0) {
+          SlicedWaitUntil(next_op_ns, stop, &mine.wait_ticks);
           next_op_ns += interval_ns;
         }
 
@@ -467,6 +595,15 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
         int64_t txn_us = static_cast<int64_t>(txn_watch.ElapsedMicros());
         sink->Record(tx_series.Get(op.op), txn_us,
                      commit_ok ? Status::Code::kOk : Status::Code::kAborted);
+        if (open_loop) {
+          // The intended-start series measures from when the arrival was
+          // *scheduled*, so the time this transaction spent queued behind its
+          // predecessors is part of its latency — the coordinated-omission
+          // gap the actual-start series cannot see.
+          sink->Record(tx_intended_series.Get(op.op),
+                       txn_us + static_cast<int64_t>(lag_us),
+                       commit_ok ? Status::Code::kOk : Status::Code::kAborted);
+        }
 
         ++ops;
         latency_sum_us += static_cast<uint64_t>(txn_us);
@@ -529,9 +666,56 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   double last_time = 0.0;
   uint64_t last_ops = 0;
   uint64_t last_latency_sum = 0;
+  uint64_t last_lag_sum = 0;
+  uint64_t last_drops = 0;
   uint64_t stall_events = 0;
   std::vector<uint64_t> stall_last_ops(static_cast<size_t>(threads), 0);
   std::vector<int> stall_windows(static_cast<size_t>(threads), 0);
+  // Shared by the in-run status ticks and the post-join closing window:
+  // turns the progress delta since the previous window into one
+  // IntervalSample, records it, and feeds the brownout controller's
+  // queue-delay trigger.  Returns (total ops so far, window rate) for the
+  // status callback.
+  auto emit_window = [&](double end_seconds) {
+    uint64_t ops = SumProgress(progress, &ClientProgress::ops);
+    uint64_t latency_sum = SumProgress(progress, &ClientProgress::latency_sum_us);
+    uint64_t window_ops = ops - last_ops;
+    double interval_rate =
+        end_seconds > last_time
+            ? static_cast<double>(window_ops) / (end_seconds - last_time)
+            : 0.0;
+    IntervalSample sample;
+    sample.end_seconds = end_seconds;
+    sample.operations = window_ops;
+    sample.ops_per_sec = interval_rate;
+    sample.avg_latency_us =
+        window_ops == 0 ? 0.0
+                        : static_cast<double>(latency_sum - last_latency_sum) /
+                              static_cast<double>(window_ops);
+    if (open_loop) {
+      uint64_t lag_sum = SumProgress(progress, &ClientProgress::sched_lag_sum_us);
+      uint64_t drops = SumProgress(progress, &ClientProgress::arrival_drops);
+      sample.sched_lag_avg_us =
+          window_ops == 0 ? 0.0
+                          : static_cast<double>(lag_sum - last_lag_sum) /
+                                static_cast<double>(window_ops);
+      sample.backlog = SumProgress(progress, &ClientProgress::backlog);
+      sample.arrival_drops = drops - last_drops;
+      last_lag_sum = lag_sum;
+      last_drops = drops;
+    }
+    measurements_->RecordInterval(sample);
+    // Sustained queue delay is the brownout controller's second trigger
+    // (the first is an Open breaker): feed it the window's average
+    // whole-transaction latency.
+    if (brownout != nullptr && sample.operations != 0) {
+      brownout->ReportWindow(sample.avg_latency_us);
+    }
+    last_ops = ops;
+    last_time = end_seconds;
+    last_latency_sum = latency_sum;
+    return std::make_pair(ops, interval_rate);
+  };
   {
     double next_status = options.status_interval_seconds;
     while (finished.load(std::memory_order_relaxed) < threads) {
@@ -549,12 +733,14 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
               stall_windows[static_cast<size_t>(c)] = 0;
               continue;
             }
-            // Shed transactions, in-flight retry attempts and backoff wait
-            // slices count as progress: a thread gracefully shedding
-            // through a brownout, or backing off mid-transaction through an
+            // Shed transactions, dropped arrivals, in-flight retry attempts
+            // and backoff/pacing wait slices count as progress: a thread
+            // gracefully shedding through a brownout, dropping an
+            // overflowing backlog, or backing off mid-transaction through an
             // election/throttle window, is degrading, not stuck.
             uint64_t now_ops = p.ops.load(std::memory_order_relaxed) +
                                p.sheds.load(std::memory_order_relaxed) +
+                               p.arrival_drops.load(std::memory_order_relaxed) +
                                p.retries.load(std::memory_order_relaxed) +
                                p.wait_ticks.load(std::memory_order_relaxed);
             if (now_ops == stall_last_ops[static_cast<size_t>(c)]) {
@@ -573,38 +759,13 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
             stall_last_ops[static_cast<size_t>(c)] = now_ops;
           }
         }
-        uint64_t ops = SumProgress(progress, &ClientProgress::ops);
-        uint64_t latency_sum =
-            SumProgress(progress, &ClientProgress::latency_sum_us);
-        uint64_t window_ops = ops - last_ops;
-        double interval_rate =
-            elapsed > last_time
-                ? static_cast<double>(window_ops) / (elapsed - last_time)
-                : 0.0;
-        IntervalSample sample;
-        sample.end_seconds = elapsed;
-        sample.operations = window_ops;
-        sample.ops_per_sec = interval_rate;
-        sample.avg_latency_us =
-            window_ops == 0 ? 0.0
-                            : static_cast<double>(latency_sum - last_latency_sum) /
-                                  static_cast<double>(window_ops);
-        measurements_->RecordInterval(sample);
-        // Sustained queue delay is the brownout controller's second trigger
-        // (the first is an Open breaker): feed it the window's average
-        // whole-transaction latency.
-        if (brownout != nullptr && sample.operations != 0) {
-          brownout->ReportWindow(sample.avg_latency_us);
-        }
+        auto [ops, interval_rate] = emit_window(elapsed);
         if (options.status_callback) {
           options.status_callback(elapsed, ops, interval_rate);
         } else {
           YCSBT_INFO("[STATUS] " << elapsed << " sec: " << ops << " operations; "
                                  << interval_rate << " current ops/sec");
         }
-        last_ops = ops;
-        last_time = elapsed;
-        last_latency_sum = latency_sum;
         next_status += options.status_interval_seconds;
       }
     }
@@ -617,18 +778,13 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   }
 
   uint64_t total_ops = SumProgress(progress, &ClientProgress::ops);
-  // Close the time series with the final partial window so the windows
-  // partition the run exactly.
-  if (options.status_interval_seconds > 0.0 && total_ops > last_ops) {
-    uint64_t latency_sum = SumProgress(progress, &ClientProgress::latency_sum_us);
-    IntervalSample sample;
-    sample.end_seconds = std::max(runtime_sec, last_time + 1e-9);
-    sample.operations = total_ops - last_ops;
-    sample.ops_per_sec = static_cast<double>(sample.operations) /
-                         (sample.end_seconds - last_time);
-    sample.avg_latency_us = static_cast<double>(latency_sum - last_latency_sum) /
-                            static_cast<double>(sample.operations);
-    measurements_->RecordInterval(sample);
+  // Close the time series with the final partial window — even an idle one —
+  // so the windows always partition the run.  (Previously a tail window with
+  // zero completed transactions was silently dropped, and the brownout
+  // controller never saw the last window's latency at all.)
+  if (options.status_interval_seconds > 0.0 &&
+      (total_ops > last_ops || runtime_sec > last_time)) {
+    emit_window(std::max(runtime_sec, last_time + 1e-9));
   }
 
   result->runtime_ms = runtime_sec * 1000.0;
@@ -642,6 +798,13 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   result->giveups = SumProgress(progress, &ClientProgress::giveups);
   result->backoff_time_us = SumProgress(progress, &ClientProgress::backoff_us);
   result->stall_events = stall_events;
+  if (open_loop) {
+    result->arrival_enabled = true;
+    result->arrival_drops = SumProgress(progress, &ClientProgress::arrival_drops);
+    result->backlog_peak = MaxProgress(progress, &ClientProgress::backlog_peak);
+    result->sched_lag_max_us =
+        MaxProgress(progress, &ClientProgress::sched_lag_max_us);
+  }
 
   if (txn_store != nullptr) {
     // Recovery work done during the run window, as deltas against the

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/retry_policy.h"
+#include "core/arrival.h"
 #include "core/brownout.h"
 #include "core/workload.h"
 #include "db/db_factory.h"
@@ -39,7 +40,21 @@ struct RunOptions {
   /// Wall-clock cap on the run; 0 = none (requires operation_count).
   double max_execution_seconds = 0.0;
   /// Aggregate target throughput for throttled runs; 0 = unthrottled.
+  /// Closed-loop pacing: the stopwatch still starts when the transaction
+  /// starts, so queueing delay behind a slow op is invisible (coordinated
+  /// omission) — use `arrival` for honest latency under load.
   double target_ops_per_sec = 0.0;
+
+  /// Open-loop arrival scheduling (`arrival.*` properties).  When
+  /// `arrival.open_loop()`, every client thread draws intended start times
+  /// from its share of the scripted rate and measures a second latency series
+  /// (`TX-<OP>-INTENDED`) from the *intended* start, so the coordinated-
+  /// omission gap is itself a measured quantity; arrivals due while the
+  /// per-thread backlog is at `arrival.max_backlog` are dropped
+  /// (ARRIVAL-DROP, consuming quota like a shed) and a full backlog flips
+  /// the brownout controller into its shed path.  Overrides
+  /// `target_ops_per_sec` when both are set.
+  ArrivalOptions arrival;
   /// YCSB+T transactional wrapping (§IV-A).  When false the client threads
   /// never call Start/Commit/Abort — the plain-YCSB mode that Tier 5
   /// compares against.
@@ -81,8 +96,9 @@ struct RunResult {
   double runtime_ms = 0.0;
   double throughput_ops_sec = 0.0;
   uint64_t operations = 0;  ///< workload transactions attempted (shed
-                            ///< transactions consume quota but never start,
-                            ///< so they are counted in `shed_txns` instead)
+                            ///< transactions and dropped arrivals consume
+                            ///< quota but never start, so they are counted in
+                            ///< `shed_txns` / `arrival_drops` instead)
   uint64_t committed = 0;   ///< transactions whose commit succeeded
   uint64_t failed = 0;      ///< workload failures + failed commits
 
@@ -114,6 +130,13 @@ struct RunResult {
   bool shed_enabled = false;
   uint64_t shed_txns = 0;   ///< transactions shed by the brownout controller
   uint64_t shed_reads = 0;  ///< of those, read-only ones dropped first
+
+  // Open-loop arrival accounting for the run window (all zero unless
+  // `arrival.rate > 0` switched the runner to open-loop mode).
+  bool arrival_enabled = false;
+  uint64_t arrival_drops = 0;     ///< arrivals dropped over a full backlog
+  uint64_t backlog_peak = 0;      ///< deepest per-thread pending backlog seen
+  uint64_t sched_lag_max_us = 0;  ///< worst intended-vs-actual start lag
 
   // WAL durability accounting for the run window (all zero unless the
   // binding runs on the local engine with a WAL configured).

@@ -55,11 +55,18 @@ std::string TextExporter::Export(const RunSummary& summary,
       << FormatDouble(summary.throughput_ops_sec) << "\n";
   if (!summary.intervals.empty()) {
     out << "[INTERVAL], EndTime(s), Operations, Throughput(ops/sec), "
-           "AverageLatency(us)\n";
+           "AverageLatency(us)";
+    if (summary.open_loop) out << ", SchedLag(us), Backlog, ArrivalDrops";
+    out << "\n";
     for (const auto& w : summary.intervals) {
       out << "[INTERVAL], " << FormatDouble(w.end_seconds) << ", " << w.operations
           << ", " << FormatDouble(w.ops_per_sec) << ", "
-          << FormatDouble(w.avg_latency_us) << "\n";
+          << FormatDouble(w.avg_latency_us);
+      if (summary.open_loop) {
+        out << ", " << FormatDouble(w.sched_lag_avg_us) << ", " << w.backlog
+            << ", " << w.arrival_drops;
+      }
+      out << "\n";
     }
   }
   for (const auto& op : ops) {
@@ -115,7 +122,13 @@ std::string JsonExporter::Export(const RunSummary& summary,
       out << "{\"end_s\":" << FormatDouble(w.end_seconds)
           << ",\"ops\":" << w.operations
           << ",\"ops_per_sec\":" << FormatDouble(w.ops_per_sec)
-          << ",\"avg_us\":" << FormatDouble(w.avg_latency_us) << "}";
+          << ",\"avg_us\":" << FormatDouble(w.avg_latency_us);
+      if (summary.open_loop) {
+        out << ",\"sched_lag_us\":" << FormatDouble(w.sched_lag_avg_us)
+            << ",\"backlog\":" << w.backlog
+            << ",\"arrival_drops\":" << w.arrival_drops;
+      }
+      out << "}";
     }
     out << "],";
   }

@@ -25,6 +25,10 @@ struct RunSummary {
   /// run had no status interval); rendered as `[INTERVAL]` lines / an
   /// `intervals` array after the overall figures.
   std::vector<IntervalSample> intervals;
+  /// True for open-loop (arrival-scheduled) runs: the exporters then extend
+  /// every `[INTERVAL]` line with the scheduler-lag / backlog / drop columns.
+  /// Closed-loop output is byte-identical to what it always was.
+  bool open_loop = false;
 };
 
 /// Renders measurements in the YCSB text format of the paper's Listing 3:

@@ -40,6 +40,12 @@ struct IntervalSample {
   uint64_t operations = 0;       ///< transactions completed in this window
   double ops_per_sec = 0.0;      ///< window throughput
   double avg_latency_us = 0.0;   ///< mean whole-transaction latency; 0 if idle
+
+  // Open-loop arrival trajectory (all zero in closed-loop runs; rendered by
+  // the exporters only when the run was open-loop).
+  double sched_lag_avg_us = 0.0; ///< mean intended-vs-actual start lag
+  uint64_t backlog = 0;          ///< pending arrivals at the window's end
+  uint64_t arrival_drops = 0;    ///< arrivals dropped over a full backlog
 };
 
 class Measurements;

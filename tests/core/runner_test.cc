@@ -240,6 +240,65 @@ TEST_F(RunnerTest, IntervalSeriesPartitionsTheRun) {
   EXPECT_EQ(result.MakeSummary().intervals.size(), result.intervals.size());
 }
 
+TEST_F(RunnerTest, ThrottledThreadIsNotMistakenForAStall) {
+  // Regression: the pacing sleep used to be one unsliced nap, so a low-rate
+  // throttled thread never ticked its wait-progress channel and the watchdog
+  // flagged it as stalled.  At 5 ops/s each 200 ms pacing gap spans several
+  // 50 ms status windows.
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 1;
+  run.operation_count = 4;
+  run.target_ops_per_sec = 5.0;
+  run.status_interval_seconds = 0.05;
+  run.stall_windows = 2;
+  run.status_callback = [](double, uint64_t, double) {};
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  EXPECT_EQ(result.operations, 4u);
+  EXPECT_EQ(result.stall_events, 0u);
+}
+
+TEST_F(RunnerTest, PacingNeverOvershootsTheTarget) {
+  // Regression: the pacing sleep truncated the sub-microsecond remainder of
+  // each gap, waking early and letting the achieved rate creep above the
+  // target.  The sliced wait rounds up and re-checks the deadline instead.
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 1;
+  run.operation_count = 250;
+  run.target_ops_per_sec = 2500.0;
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  // 250 ops at 2500/s is >= ~99.6 ms of pacing (the first op is unpaced).
+  EXPECT_GE(result.runtime_ms, 99.0);
+  EXPECT_LE(result.throughput_ops_sec, 2500.0 * 1.05);
+}
+
+TEST_F(RunnerTest, ClosingWindowAlwaysReachesTheRuntime) {
+  // Regression: a tail window with zero completed transactions was silently
+  // dropped, so the interval series could stop short of the run's end.  The
+  // closing window is now emitted whenever time advanced past the last tick.
+  CountingWorkload w;
+  WorkloadRunner runner(factory_.get(), &w, &measurements_);
+  RunOptions run;
+  run.threads = 2;
+  run.operation_count = 0;
+  run.max_execution_seconds = 0.3;
+  run.status_interval_seconds = 0.1;
+  run.status_callback = [](double, uint64_t, double) {};
+  RunResult result;
+  ASSERT_TRUE(runner.Run(run, &result).ok());
+  ASSERT_FALSE(result.intervals.empty());
+  EXPECT_DOUBLE_EQ(result.intervals.back().end_seconds,
+                   result.runtime_ms / 1000.0);
+  uint64_t window_sum = 0;
+  for (const auto& window : result.intervals) window_sum += window.operations;
+  EXPECT_EQ(window_sum, result.operations);
+}
+
 TEST_F(RunnerTest, NoStatusIntervalMeansNoSeries) {
   CountingWorkload w;
   WorkloadRunner runner(factory_.get(), &w, &measurements_);

@@ -126,6 +126,51 @@ TEST(JsonExporterTest, EmitsIntervalArray) {
   EXPECT_EQ(without.find("intervals"), std::string::npos);
 }
 
+TEST(TextExporterTest, OpenLoopExtendsIntervalColumns) {
+  RunSummary s = CewSummary();
+  s.open_loop = true;
+  IntervalSample w;
+  w.end_seconds = 1.0;
+  w.operations = 8123;
+  w.ops_per_sec = 8123.0;
+  w.avg_latency_us = 117.2;
+  w.sched_lag_avg_us = 950.5;
+  w.backlog = 12;
+  w.arrival_drops = 3;
+  s.intervals = {w};
+  std::string out = TextExporter::Export(s, {});
+  EXPECT_NE(out.find("AverageLatency(us), SchedLag(us), Backlog, ArrivalDrops"),
+            std::string::npos);
+  EXPECT_NE(out.find("[INTERVAL], 1, 8123, 8123, 117.2, 950.5, 12, 3"),
+            std::string::npos);
+  // Closed-loop output never grows the columns, whatever the sample holds.
+  s.open_loop = false;
+  out = TextExporter::Export(s, {});
+  EXPECT_EQ(out.find("SchedLag"), std::string::npos);
+  EXPECT_NE(out.find("[INTERVAL], 1, 8123, 8123, 117.2\n"), std::string::npos);
+}
+
+TEST(JsonExporterTest, OpenLoopExtendsIntervalObjects) {
+  RunSummary s = CewSummary();
+  s.open_loop = true;
+  IntervalSample w;
+  w.end_seconds = 0.5;
+  w.operations = 100;
+  w.ops_per_sec = 200.0;
+  w.avg_latency_us = 50.0;
+  w.sched_lag_avg_us = 75.25;
+  w.backlog = 7;
+  w.arrival_drops = 2;
+  s.intervals = {w};
+  std::string out = JsonExporter::Export(s, {});
+  EXPECT_NE(out.find("\"avg_us\":50,\"sched_lag_us\":75.25,\"backlog\":7,"
+                     "\"arrival_drops\":2}"),
+            std::string::npos);
+  s.open_loop = false;
+  out = JsonExporter::Export(s, {});
+  EXPECT_EQ(out.find("sched_lag_us"), std::string::npos);
+}
+
 TEST(JsonExporterTest, EscapesSpecialCharacters) {
   RunSummary s;
   s.extra = {{"KEY \"quoted\"", "line\nbreak\\slash"}};
