@@ -89,6 +89,8 @@ constexpr std::string_view kKnownKeys[] = {
     "loadwrapped",
     "maxexecutiontime",
     "maxscanlength",
+    "memkv.checkpoint_dir_sync",
+    "memkv.checkpoint_path",
     "memkv.shards",
     "memkv.sync_wal",
     "memkv.wal_group_commit",
@@ -124,6 +126,21 @@ constexpr std::string_view kKnownKeys[] = {
     "skiprun",
     "status.interval",
     "status.stall_windows",
+    "storage.fault.crash_file",
+    "storage.fault.crash_point",
+    "storage.fault.crash_point_pass",
+    "storage.fault.crash_write_offset",
+    "storage.fault.drop_unsynced_on_crash",
+    "storage.fault.enospc_after_bytes",
+    "storage.fault.read_flip_file",
+    "storage.fault.read_flip_offset",
+    "storage.fault.read_flip_rate",
+    "storage.fault.seed",
+    "storage.fault.sync_fail_at",
+    "storage.fault.sync_fail_rate",
+    "storage.fault.torn_write_at",
+    "storage.fault.truncate_fail_at",
+    "storage.fault.write_error_rate",
     "suite.load",
     "suite.name",
     "suite.operations_per_thread",

@@ -47,11 +47,17 @@ Status RunBenchmarkWithFactory(const Properties& props, DBFactory* factory,
     // lag: while disarmed it replicates synchronously (read routing stays
     // on, so a stale-mode validation still audits the lagging view).
     if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(true);
+    if (factory->storage_fault_env() != nullptr) {
+      factory->storage_fault_env()->set_enabled(true);
+    }
     if (factory->replicated_store() != nullptr) {
       factory->replicated_store()->set_fault_enabled(true);
     }
     s = runner.Run(run, result);
     if (factory->fault_store() != nullptr) factory->fault_store()->set_enabled(false);
+    if (factory->storage_fault_env() != nullptr) {
+      factory->storage_fault_env()->set_enabled(false);
+    }
     if (factory->replicated_store() != nullptr) {
       factory->replicated_store()->set_fault_enabled(false);
     }

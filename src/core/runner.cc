@@ -54,6 +54,25 @@ RunSummary RunResult::MakeSummary() const {
   if (stall_events != 0) {
     summary.extra.emplace_back("WATCHDOG STALLS", std::to_string(stall_events));
   }
+  if (recovery_reported) {
+    summary.extra.emplace_back("RECOVERY-REPLAYED",
+                               std::to_string(recovery_wal_replayed));
+    summary.extra.emplace_back("RECOVERY-SKIPPED",
+                               std::to_string(recovery_wal_skipped));
+    summary.extra.emplace_back("RECOVERY-TRUNCATED-BYTES",
+                               std::to_string(recovery_truncated_bytes));
+    summary.extra.emplace_back(
+        "CKPT-SCRUB", recovery_ckpt_scrubbed ? "1 (" + recovery_scrub_reason + ")"
+                                             : "0");
+    summary.extra.emplace_back("CKPT-RECORDS",
+                               std::to_string(recovery_ckpt_records));
+  }
+  if (storage_faults_enabled) {
+    summary.extra.emplace_back("STORAGE-FAULTS INJECTED",
+                               std::to_string(storage_faults_injected));
+    summary.extra.emplace_back("STORAGE-ENV CRASHED",
+                               storage_env_crashed ? "1" : "0");
+  }
   if (resilience_enabled) {
     summary.extra.emplace_back("BREAKER OPENS", std::to_string(breaker_opens));
     summary.extra.emplace_back("BREAKER FAST-FAILS",
@@ -873,6 +892,39 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                                   wal.sync_latency_us, Status::Code::kOk);
     measurements_->MergeHistogram(measurements_->RegisterOp("WAL-BATCH"),
                                   wal.batch_records, Status::Code::kOk);
+
+    // What startup recovery did to reach this run's initial state, surfaced
+    // as summary lines and as series so both exporters render them
+    // (DESIGN.md §14): RECOVERY-REPLAYED / RECOVERY-TRUNCATED-BYTES counts,
+    // and CKPT-SCRUB as an error-coded event when the snapshot was damaged.
+    const kv::RecoveryReport& rec = engine->recovery_report();
+    result->recovery_reported = true;
+    result->recovery_ckpt_records = rec.checkpoint_records;
+    result->recovery_wal_replayed = rec.wal_records_replayed;
+    result->recovery_wal_skipped = rec.wal_records_skipped;
+    result->recovery_truncated_bytes = rec.truncated_bytes;
+    result->recovery_ckpt_scrubbed = rec.checkpoint_scrubbed;
+    result->recovery_scrub_reason = rec.scrub_reason;
+    measurements_->RecordMany(measurements_->RegisterOp("RECOVERY-REPLAYED"), 0,
+                              Status::Code::kOk, rec.wal_records_replayed);
+    measurements_->RecordMany(
+        measurements_->RegisterOp("RECOVERY-TRUNCATED-BYTES"), 0,
+        Status::Code::kOk, rec.truncated_bytes);
+    if (rec.checkpoint_scrubbed) {
+      measurements_->RecordMany(measurements_->RegisterOp("CKPT-SCRUB"), 0,
+                                Status::Code::kIOError, 1);
+    }
+  }
+
+  if (kv::FaultInjectingEnv* senv = factory_->storage_fault_env()) {
+    // Storage-layer injections during the run window (the env is armed only
+    // around the measured phase, so the stats are already run-scoped).
+    kv::StorageFaultStats ss = senv->stats();
+    result->storage_faults_enabled = true;
+    result->storage_faults_injected = ss.TotalInjected();
+    result->storage_env_crashed = ss.crashed;
+    measurements_->RecordMany(measurements_->RegisterOp("STORAGE-FAULT"), 0,
+                              Status::Code::kIOError, ss.TotalInjected());
   }
 
   if (fanout != nullptr) {

@@ -146,6 +146,23 @@ struct RunResult {
   double wal_avg_batch = 0.0;   ///< mean records per batch
   int64_t wal_max_batch = 0;    ///< largest batch observed
 
+  // Crash-recovery accounting from the local engine's `Open()` — what the
+  // startup preceding this run replayed, skipped, truncated and scrubbed
+  // (all zero unless the binding runs on the local engine with a WAL).
+  bool recovery_reported = false;
+  uint64_t recovery_ckpt_records = 0;     ///< entries loaded from the snapshot
+  uint64_t recovery_wal_replayed = 0;     ///< WAL records applied
+  uint64_t recovery_wal_skipped = 0;      ///< WAL frames under the watermark
+  uint64_t recovery_truncated_bytes = 0;  ///< torn WAL tail chopped off
+  bool recovery_ckpt_scrubbed = false;    ///< snapshot failed validation,
+  std::string recovery_scrub_reason;      ///< fell back to WAL-only + why
+
+  // Storage fault injection for the run window (all zero unless
+  // `storage.fault.*` armed a `kv::FaultInjectingEnv` under the engine).
+  bool storage_faults_enabled = false;
+  uint64_t storage_faults_injected = 0;  ///< torn/failed/flipped ops injected
+  bool storage_env_crashed = false;      ///< a crash point froze the env
+
   // RPC fan-out accounting for the run window (all zero unless
   // `txn.fanout_threads > 0` and some multi-key phase actually batched).
   uint64_t fanout_batches = 0;    ///< ParallelForEach calls that fanned out

@@ -17,8 +17,19 @@ std::shared_ptr<kv::Store> DBFactory::MakeLocalEngine() {
       static_cast<int>(props_.GetInt("memkv.wal_group_max_batch", 64));
   options.wal_group_window_us =
       static_cast<uint32_t>(props_.GetInt("memkv.wal_group_window_us", 0));
+  options.checkpoint_path = props_.Get("memkv.checkpoint_path", "");
+  options.checkpoint_dir_sync = props_.GetBool("memkv.checkpoint_dir_sync", true);
+  kv::StorageFaultOptions storage_faults =
+      kv::StorageFaultOptions::FromProperties(props_);
+  if (storage_faults.Any()) {
+    // Disarmed until the driver arms the measured run phase; the load and
+    // recovery phases always see a faithful filesystem.
+    storage_fault_env_ = std::make_unique<kv::FaultInjectingEnv>(
+        kv::Env::Default(), storage_faults);
+    options.env = storage_fault_env_.get();
+  }
   auto store = std::make_shared<kv::ShardedStore>(options);
-  store->Open();  // no-op for volatile stores
+  local_engine_status_ = store->Open();  // no-op for volatile stores
   local_engine_ = store;
   return store;
 }
@@ -80,11 +91,11 @@ void DBFactory::MaybeAttachExecutor() {
 Status DBFactory::BuildBase(const std::string& base_name) {
   if (base_name == "memkv") {
     front_store_ = MakeLocalEngine();
-    return Status::OK();
+    return local_engine_status_;
   }
   if (base_name == "rawhttp") {
     front_store_ = MakeRawHttp();
-    return Status::OK();
+    return local_engine_status_;
   }
   if (base_name == "was" || base_name == "gcs") {
     cloud::CloudProfile profile = base_name == "was" ? cloud::CloudProfile::Was()
@@ -99,6 +110,7 @@ Status DBFactory::BuildBase(const std::string& base_name) {
     profile.max_queue_delay_us =
         props_.GetDouble("cloud.max_queue_delay_us", profile.max_queue_delay_us);
     cloud_ = std::make_shared<cloud::SimCloudStore>(profile, MakeLocalEngine());
+    if (!local_engine_status_.ok()) return local_engine_status_;
     double scale = props_.GetDouble("cloud.latency_scale", 1.0);
     if (scale != 1.0) cloud_->ScaleLatency(scale);
     front_store_ = cloud_;
@@ -184,6 +196,7 @@ Status DBFactory::Init() {
 
   if (name_ == "2pl+memkv") {
     front_store_ = MakeLocalEngine();
+    if (!local_engine_status_.ok()) return local_engine_status_;
     MaybeInjectFaults();
     MaybeAddResilience();
     txn::Local2PLOptions options;

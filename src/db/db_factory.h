@@ -10,6 +10,7 @@
 #include "common/properties.h"
 #include "common/rpc_executor.h"
 #include "db/db.h"
+#include "kv/fault_env.h"
 #include "kv/fault_injecting_store.h"
 #include "kv/instrumented_store.h"
 #include "kv/resilient_store.h"
@@ -35,7 +36,9 @@ namespace ycsbt {
 ///
 /// Other properties consumed here: `memkv.shards`, `memkv.wal_path`,
 /// `memkv.sync_wal`, `memkv.wal_group_commit`, `memkv.wal_group_max_batch`,
-/// `memkv.wal_group_window_us`, `rawhttp.latency_median_us`, `rawhttp.latency_sigma`,
+/// `memkv.wal_group_window_us`, `memkv.checkpoint_path`,
+/// `memkv.checkpoint_dir_sync`,
+/// `rawhttp.latency_median_us`, `rawhttp.latency_sigma`,
 /// `rawhttp.latency_floor_us`, `cloud.latency_scale`, `cloud.rate_limit`,
 /// `cloud.max_queue_delay_us`,
 /// `txn.isolation` (snapshot|serializable), `txn.lease_us`,
@@ -55,6 +58,13 @@ namespace ycsbt {
 /// the benchmark driver arms it only around the measured run phase — and,
 /// for `txn+*` bindings, the same object is wired in as the transaction
 /// library's commit-pipeline `CrashInjector`.
+///
+/// When any `storage.fault.*` trigger is configured (see
+/// `kv::StorageFaultOptions`, DESIGN.md §14) the local engine's WAL and
+/// checkpoint files go through a `kv::FaultInjectingEnv` — also constructed
+/// disarmed, armed by the driver around the measured run — injecting torn
+/// writes, fsyncgate failures, ENOSPC, read-side bit flips and named crash
+/// points below the store.
 ///
 /// When `breaker.enabled`, `hedge.enabled` or a per-transaction deadline
 /// (`retry.deadline_us` with `deadline.enforce`) is configured, the store —
@@ -109,6 +119,10 @@ class DBFactory {
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
   /// Non-null iff fault injection is configured; arm with `set_enabled`.
   kv::FaultInjectingStore* fault_store() const { return fault_store_.get(); }
+  /// Non-null iff `storage.fault.*` is configured; arm with `set_enabled`.
+  kv::FaultInjectingEnv* storage_fault_env() const {
+    return storage_fault_env_.get();
+  }
   /// Non-null iff the overload-tolerance layer is configured.
   kv::ResilientStore* resilient_store() const { return resilient_store_.get(); }
   /// Non-null iff the binding runs on the local engine (directly or below
@@ -147,6 +161,11 @@ class DBFactory {
   std::string name_;
   std::shared_ptr<kv::Store> front_store_;
   std::shared_ptr<kv::ShardedStore> local_engine_;
+  /// Storage fault layer under the local engine; must outlive it.
+  std::unique_ptr<kv::FaultInjectingEnv> storage_fault_env_;
+  /// Outcome of the local engine's `Open()` (checkpoint load + WAL replay);
+  /// surfaced by `Init` instead of being swallowed.
+  Status local_engine_status_;
   std::shared_ptr<kv::FaultInjectingStore> fault_store_;
   std::shared_ptr<kv::ResilientStore> resilient_store_;
   std::shared_ptr<cloud::SimCloudStore> cloud_;

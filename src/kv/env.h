@@ -1,0 +1,106 @@
+#ifndef YCSBT_KV_ENV_H_
+#define YCSBT_KV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ycsbt {
+namespace kv {
+
+/// One append-only file opened through an `Env`.  The durable local engine
+/// funnels every byte it writes (WAL frames, checkpoint snapshots) through
+/// this interface, so a fault-injecting `Env` can tear writes at exact byte
+/// offsets, fail fdatasync with fsyncgate semantics, or freeze the file
+/// exactly as a kernel crash would have left it.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.  Either every byte is written
+  /// (OK) or the call failed — a short write surfaces as an error, with the
+  /// partial bytes possibly on disk (exactly what a torn device write leaves
+  /// behind; the WAL's fail-stop contract cleans it up).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes user-space buffers to the kernel.  The default file is
+  /// unbuffered, so this is a no-op hook kept for buffered implementations
+  /// and for the fault layer's accounting of what "reached the kernel".
+  virtual Status Flush() = 0;
+
+  /// fdatasync: makes every appended byte durable.  A failure means the
+  /// dirty data may have been DROPPED by the kernel (the fsyncgate
+  /// semantics) — callers must fail-stop, never retry-and-hope.
+  virtual Status Sync() = 0;
+
+  /// Cuts the file back to `size` bytes (the WAL's torn-tail cleanup).
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Closes the descriptor.  Nothing is flushed that `Append` had not
+  /// already pushed down.
+  virtual Status Close() = 0;
+
+  /// Current logical size in bytes (bytes appended so far, including any
+  /// pre-existing content the file was opened with).
+  virtual uint64_t size() const = 0;
+};
+
+/// Filesystem seam of the durable local engine (`WriteAheadLog`,
+/// `ShardedStore::Checkpoint`).  Production uses `Env::Default()` (thin
+/// POSIX wrappers); tests substitute `FaultInjectingEnv` to inject torn
+/// writes, sync failures, ENOSPC, read-side bit flips and named crash
+/// points without a real failing device (DESIGN.md §14).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if needed; truncates existing
+  /// content first when `truncate_existing`.
+  virtual Status NewWritableFile(const std::string& path,
+                                 bool truncate_existing,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+
+  /// Reads the whole file into `*out`.  A missing file is NotFound.
+  virtual Status ReadFileToString(const std::string& path, std::string* out) = 0;
+
+  /// Size of `path` in bytes; NotFound when absent.
+  virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Unlinks `path`; NotFound when absent.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically renames `from` over `to` (the checkpoint commit step).
+  /// NOTE: the rename is only crash-durable after `SyncDirOf(to)` — a
+  /// kernel crash before the directory fsync can resurrect the old dirent.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` (not necessarily open) to `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// fsyncs the directory containing `path`, making renames/creates/unlinks
+  /// of entries in that directory crash-durable.
+  virtual Status SyncDirOf(const std::string& path) = 0;
+
+  /// Named crash-point hook (`wal_pre_sync`, `ckpt_pre_rename`, ...): the
+  /// storage code announces protocol milestones; a fault-injecting Env may
+  /// answer with an error and freeze all file state exactly as the kernel
+  /// would have left it (every later operation fails too).  The production
+  /// Env always answers OK.
+  virtual Status MaybeCrashPoint(const char* point) {
+    (void)point;
+    return Status::OK();
+  }
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_ENV_H_

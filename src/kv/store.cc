@@ -1,10 +1,8 @@
 #include "kv/store.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
+#include <set>
 
 #include "common/random.h"
 #include "common/rpc_executor.h"
@@ -60,24 +58,52 @@ ShardedStore::~ShardedStore() = default;
 Status ShardedStore::Open() {
   if (options_.wal_path.empty()) return Status::OK();
   if (open_) return Status::InvalidArgument("store already open");
+  Env* env = EnvOrDefault();
+  recovery_ = RecoveryReport{};
   // 1. Load the last checkpoint, if any.  A checkpoint is simply a compacted
   //    log: a sequence of kPut records plus an etag watermark, so the WAL
-  //    replay machinery reads it directly.
-  if (!options_.checkpoint_path.empty()) {
+  //    replay machinery reads it directly.  The snapshot is STAGED and
+  //    validated before anything is applied: if it is damaged in any way
+  //    (CRC mismatch, torn tail, missing watermark — e.g. bit rot, or a
+  //    crash mid-checkpoint-write that somehow survived the rename protocol)
+  //    the whole snapshot is scrubbed and recovery falls back to WAL-only,
+  //    rather than serving half a snapshot as state.
+  if (!options_.checkpoint_path.empty() &&
+      env->FileExists(options_.checkpoint_path)) {
+    std::vector<WalRecord> staged;
+    size_t ckpt_valid_bytes = 0;
     Status s = WriteAheadLog::Replay(
-        options_.checkpoint_path, [this](const WalRecord& r) {
-          if (r.key.empty()) {
-            // Reserved empty-key record: the checkpoint's etag watermark.
-            checkpoint_etag_ = r.etag;
-            uint64_t seen = etag_source_.load(std::memory_order_relaxed);
-            while (r.etag > seen && !etag_source_.compare_exchange_weak(
-                                        seen, r.etag, std::memory_order_relaxed)) {
-            }
-            return;
-          }
-          ApplyReplayed(r, /*skip_upto_etag=*/0);
-        });
-    if (!s.ok()) return s;
+        options_.checkpoint_path,
+        [&staged](const WalRecord& r) { staged.push_back(r); },
+        &ckpt_valid_bytes, env);
+    uint64_t ckpt_size = 0;
+    Status size_s = env->FileSize(options_.checkpoint_path, &ckpt_size);
+    // The watermark is written last with the snapshot's only fdatasync, so a
+    // complete snapshot always ends in an intact empty-key record covering
+    // every byte of the file.
+    const bool complete = s.ok() && size_s.ok() &&
+                          ckpt_valid_bytes == ckpt_size && !staged.empty() &&
+                          staged.back().key.empty();
+    if (complete) {
+      for (const WalRecord& r : staged) {
+        if (r.key.empty()) {
+          // Reserved empty-key record: the checkpoint's etag watermark.
+          checkpoint_etag_ = r.etag;
+          AdvanceEtagSource(r.etag);
+          continue;
+        }
+        recovery_.checkpoint_records +=
+            ApplyReplayed(r, /*skip_upto_etag=*/0);
+      }
+    } else {
+      recovery_.checkpoint_scrubbed = true;
+      recovery_.scrub_reason =
+          !s.ok() ? s.ToString()
+                  : (staged.empty() || !staged.back().key.empty()
+                         ? "missing etag watermark"
+                         : "torn snapshot tail");
+      checkpoint_etag_ = 0;
+    }
   }
   // 2. Replay WAL records newer than the checkpoint.  (After a crash between
   //    checkpoint rename and WAL truncation the log still holds records the
@@ -85,19 +111,27 @@ Status ShardedStore::Open() {
   size_t wal_valid_bytes = 0;
   Status s = WriteAheadLog::Replay(
       options_.wal_path,
-      [this](const WalRecord& r) { ApplyReplayed(r, checkpoint_etag_); },
-      &wal_valid_bytes);
+      [this](const WalRecord& r) {
+        size_t applied = ApplyReplayed(r, checkpoint_etag_);
+        if (applied > 0) {
+          recovery_.wal_records_replayed += applied;
+        } else {
+          recovery_.wal_records_skipped++;
+        }
+      },
+      &wal_valid_bytes, env);
   if (!s.ok()) return s;
   // 3. Chop off any torn tail a crash left behind: new appends must follow
   //    the last intact record, or the tear would sit mid-log (and read as
   //    hard corruption) on the next replay.
-  struct ::stat st;
-  if (::stat(options_.wal_path.c_str(), &st) == 0 &&
-      static_cast<size_t>(st.st_size) > wal_valid_bytes) {
-    if (::truncate(options_.wal_path.c_str(),
-                   static_cast<off_t>(wal_valid_bytes)) != 0) {
-      return Status::IOError("WAL torn-tail truncation failed");
+  uint64_t wal_size = 0;
+  if (env->FileSize(options_.wal_path, &wal_size).ok() &&
+      static_cast<size_t>(wal_size) > wal_valid_bytes) {
+    s = env->TruncateFile(options_.wal_path, wal_valid_bytes);
+    if (!s.ok()) {
+      return Status::IOError("WAL torn-tail truncation failed: " + s.message());
     }
+    recovery_.truncated_bytes = wal_size - wal_valid_bytes;
   }
   s = wal_.Open(options_.wal_path, MakeWalOptions());
   if (!s.ok()) return s;
@@ -110,6 +144,7 @@ kv::WalOptions ShardedStore::MakeWalOptions() const {
   wal.group_commit = options_.wal_group_commit;
   wal.group_max_batch = options_.wal_group_max_batch;
   wal.group_window_us = options_.wal_group_window_us;
+  wal.env = options_.env;
   return wal;
 }
 
@@ -120,24 +155,29 @@ void ShardedStore::AdvanceEtagSource(uint64_t etag) {
   }
 }
 
-void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag) {
-  if (record.kind == WalRecord::Kind::kBulkPut) {
-    // One frame covers a whole sorted run; entry i carries etag + i.  The
-    // frame's CRC already validated the payload, so a decode failure can
-    // only be an encoder bug — apply whatever decoded.
+size_t ShardedStore::ApplyReplayed(const WalRecord& record,
+                                   uint64_t skip_upto_etag) {
+  if (record.kind == WalRecord::Kind::kBulkPut ||
+      record.kind == WalRecord::Kind::kTxnPut) {
+    // One frame covers a whole run (sorted bulk load) or one atomic
+    // multi-key transaction; entry i carries etag + i.  The frame's CRC
+    // already validated the payload, so a decode failure can only be an
+    // encoder bug — apply whatever decoded.
     std::vector<std::pair<std::string, std::string>> run;
     DecodeBulkPayload(record.value, &run);
+    size_t applied = 0;
     for (size_t i = 0; i < run.size(); ++i) {
       uint64_t etag = record.etag + i;
       if (etag <= skip_upto_etag) continue;
       Shard& shard = ShardFor(run[i].first);
       std::unique_lock<std::shared_mutex> lock(shard.mu);
       shard.map.Upsert(run[i].first, Entry{std::move(run[i].second), etag});
+      ++applied;
     }
     if (!run.empty()) AdvanceEtagSource(record.etag + run.size() - 1);
-    return;
+    return applied;
   }
-  if (record.etag != 0 && record.etag <= skip_upto_etag) return;
+  if (record.etag != 0 && record.etag <= skip_upto_etag) return 0;
   Shard& shard = ShardFor(record.key);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   if (record.kind == WalRecord::Kind::kPut) {
@@ -147,6 +187,13 @@ void ShardedStore::ApplyReplayed(const WalRecord& record, uint64_t skip_upto_eta
   }
   // Keep the etag source ahead of everything the log produced.
   AdvanceEtagSource(record.etag);
+  return 1;
+}
+
+Status ShardedStore::PoisonStore(const std::string& why) {
+  poison_status_ = Status::IOError("store fail-stop: " + why);
+  poisoned_.store(true, std::memory_order_release);
+  return poison_status_;
 }
 
 Status ShardedStore::Checkpoint() {
@@ -154,6 +201,7 @@ Status ShardedStore::Checkpoint() {
     return Status::InvalidArgument("checkpointing needs checkpoint_path and wal_path");
   }
   if (!open_) return Status::IOError("store not opened");
+  if (poisoned_.load(std::memory_order_acquire)) return poison_status_;
 
   // Stop the world: exclusive locks on every shard, in index order (the same
   // order Scan takes shared locks, so the two cannot deadlock).
@@ -161,10 +209,14 @@ Status ShardedStore::Checkpoint() {
   locks.reserve(shards_.size());
   for (auto& shard : shards_) locks.emplace_back(shard->mu);
 
+  Env* env = EnvOrDefault();
   std::string tmp = options_.checkpoint_path + ".tmp";
+  // Phase 1 — build the snapshot in a side file.  Any failure here (ENOSPC,
+  // torn write, sync failure) is a CLEAN abort: the live checkpoint and the
+  // WAL are untouched, the store keeps running.
   {
     WriteAheadLog snapshot;
-    std::remove(tmp.c_str());
+    if (env->FileExists(tmp)) (void)env->RemoveFile(tmp);
     Status s = snapshot.Open(tmp, MakeWalOptions());
     if (!s.ok()) return s;
     for (auto& shard : shards_) {
@@ -187,16 +239,43 @@ Status ShardedStore::Checkpoint() {
     s = snapshot.Append(watermark, /*sync=*/true);
     if (!s.ok()) return s;
   }
-  if (std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
-    return Status::IOError("checkpoint rename failed");
+  // Phase 2 — commit: rename over the old snapshot, then fsync the directory
+  // so the new dirent is crash-durable.  Without the directory fsync a
+  // post-rename crash can resurrect the OLD snapshot (journalled filesystems
+  // may persist the WAL truncation below but not the rename) — acked commits
+  // in the truncated log would then be on neither file.
+  Status s = env->MaybeCrashPoint("ckpt_pre_rename");
+  if (!s.ok()) return s;  // nothing destructive has happened yet
+  s = env->RenameFile(tmp, options_.checkpoint_path);
+  if (!s.ok()) return s;
+  if (options_.checkpoint_dir_sync) {
+    s = env->SyncDirOf(options_.checkpoint_path);
+    if (!s.ok()) {
+      // The rename may or may not be durable; from here on the on-disk
+      // protocol state is ambiguous, so fail-stop rather than risk
+      // compacting the WAL against a snapshot that can vanish.
+      return PoisonStore("checkpoint directory fsync failed: " + s.message());
+    }
   }
+  s = env->MaybeCrashPoint("ckpt_post_rename_pre_trunc");
+  if (!s.ok()) return PoisonStore("crashed after checkpoint rename");
 
-  // Log compaction: everything in the WAL is now covered by the snapshot.
+  // Phase 3 — log compaction: everything in the WAL is now durably covered
+  // by the snapshot.  Every failure routes through the poison path: the WAL
+  // is closed here, so a half-finished compaction left unpoisoned would
+  // silently drop mutations (the pre-hardening `fopen("wb")` bug).
   wal_.Close();
-  std::FILE* trunc = std::fopen(options_.wal_path.c_str(), "wb");
-  if (trunc == nullptr) return Status::IOError("WAL truncate failed");
-  std::fclose(trunc);
-  return wal_.Open(options_.wal_path, MakeWalOptions());
+  s = env->TruncateFile(options_.wal_path, 0);
+  if (!s.ok()) {
+    return PoisonStore("WAL truncate after checkpoint failed: " + s.message());
+  }
+  s = env->MaybeCrashPoint("ckpt_post_trunc");
+  if (!s.ok()) return PoisonStore("crashed after WAL truncation");
+  s = wal_.Open(options_.wal_path, MakeWalOptions());
+  if (!s.ok()) {
+    return PoisonStore("WAL reopen after checkpoint failed: " + s.message());
+  }
+  return Status::OK();
 }
 
 Status ShardedStore::BulkLoad(
@@ -218,15 +297,10 @@ Status ShardedStore::BulkLoad(
   uint64_t first_etag = etag_source_.fetch_add(sorted_records.size(),
                                                std::memory_order_relaxed) +
                         1;
-  if (wal_.IsOpen()) {
-    // One frame for the whole run; rides group commit like any other append.
-    WalRecord record;
-    record.kind = WalRecord::Kind::kBulkPut;
-    record.etag = first_etag;
-    record.value = EncodeBulkPayload(sorted_records);
-    Status s = wal_.Append(record, options_.sync_wal);
-    if (!s.ok()) return s;
-  }
+  // One frame for the whole run; rides group commit like any other append.
+  Status log = LogMutation(WalRecord::Kind::kBulkPut, "",
+                           EncodeBulkPayload(sorted_records), first_etag);
+  if (!log.ok()) return log;
   // Stream the run once, in order, into one sorted-insert cursor per shard.
   // The global sort order restricted to any one shard is still strictly
   // ascending, so every cursor sees a valid feed.  Walking the record array
@@ -250,6 +324,49 @@ Status ShardedStore::BulkLoad(
   return Status::OK();
 }
 
+Status ShardedStore::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& records,
+    std::vector<uint64_t>* etags_out) {
+  if (!open_) return Status::IOError("store not opened");
+  if (records.empty()) return Status::OK();
+  for (const auto& [key, value] : records) {
+    (void)value;
+    if (key.empty()) return Status::InvalidArgument("empty keys are reserved");
+  }
+  // Contiguous etag range: entry i carries first + i, mirroring kBulkPut.
+  uint64_t first_etag =
+      etag_source_.fetch_add(records.size(), std::memory_order_relaxed) + 1;
+
+  // Lock every involved shard together (index order, deduped — the order
+  // every multi-shard path uses) so readers can't see half the batch.
+  std::set<size_t> shard_idx;
+  for (const auto& [key, value] : records) {
+    (void)value;
+    shard_idx.insert(ShardIndex(key));
+  }
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shard_idx.size());
+  for (size_t idx : shard_idx) locks.emplace_back(shards_[idx]->mu);
+
+  // One kTxnPut frame = the whole transaction's durability: recovery replays
+  // all of it or none of it, never a partial multi-key commit.
+  Status log = LogMutation(WalRecord::Kind::kTxnPut, "",
+                           EncodeBulkPayload(records), first_etag);
+  if (!log.ok()) return log;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    ShardFor(records[i].first)
+        .map.Upsert(records[i].first, Entry{records[i].second, first_etag + i});
+  }
+  if (etags_out != nullptr) {
+    etags_out->clear();
+    for (size_t i = 0; i < records.size(); ++i) {
+      etags_out->push_back(first_etag + i);
+    }
+  }
+  return Status::OK();
+}
+
 ShardedStore::Shard& ShardedStore::ShardFor(const std::string& key) {
   return *shards_[ShardIndex(key)];
 }
@@ -261,7 +378,14 @@ size_t ShardedStore::ShardIndex(const std::string& key) const {
 
 Status ShardedStore::LogMutation(WalRecord::Kind kind, const std::string& key,
                                  std::string_view value, uint64_t etag) {
-  if (!wal_.IsOpen()) return Status::OK();
+  if (!wal_enabled()) return Status::OK();
+  if (poisoned_.load(std::memory_order_acquire)) return poison_status_;
+  // A configured-but-closed WAL means a checkpoint died mid-compaction;
+  // acknowledging unlogged mutations here would silently drop them on the
+  // next reopen (the pre-hardening behaviour).
+  if (!wal_.IsOpen()) {
+    return Status::IOError("WAL closed mid-compaction; mutation not logged");
+  }
   WalRecord record;
   record.kind = kind;
   record.etag = etag;

@@ -113,6 +113,29 @@ struct StoreOptions {
   /// When non-empty, `Checkpoint()` writes full-state snapshots here and
   /// `Open()` loads the snapshot before replaying the WAL.
   std::string checkpoint_path;
+  /// fsync the checkpoint directory after the rename-over, making the new
+  /// snapshot's dirent crash-durable.  Off replicates the pre-hardening bug
+  /// (a post-rename crash can resurrect the old snapshot next to an
+  /// already-truncated WAL — losing acked commits); kept as a knob so the
+  /// torture harness can demonstrate exactly that loss.
+  bool checkpoint_dir_sync = true;
+  /// Filesystem seam for the WAL and the checkpoint path; nullptr =
+  /// `Env::Default()`.  Tests substitute a `FaultInjectingEnv`.
+  Env* env = nullptr;
+};
+
+/// What `ShardedStore::Open()` did to reconstruct state — the source of the
+/// RECOVERY-REPLAYED / RECOVERY-TRUNCATED-BYTES / CKPT-SCRUB observability
+/// lines (DESIGN.md §14).
+struct RecoveryReport {
+  uint64_t checkpoint_records = 0;   ///< entries loaded from the snapshot
+  uint64_t wal_records_replayed = 0; ///< WAL entries applied after filtering
+  uint64_t wal_records_skipped = 0;  ///< WAL frames at/below the watermark
+  uint64_t truncated_bytes = 0;      ///< torn tail chopped off the WAL
+  /// The snapshot failed validation (CRC damage, missing watermark, torn
+  /// tail) and was ignored wholesale — recovery fell back to WAL-only.
+  bool checkpoint_scrubbed = false;
+  std::string scrub_reason;
 };
 
 /// The key-value store interface every substrate in this repo implements:
@@ -220,6 +243,20 @@ class ShardedStore : public Store {
   Status BulkLoad(
       const std::vector<std::pair<std::string, std::string>>& sorted_records);
 
+  /// Atomic multi-key put: every entry commits (or not) as a unit.  All the
+  /// puts ride in ONE `kTxnPut` WAL frame, so crash recovery can only ever
+  /// replay the whole set or none of it — a partial multi-key transaction is
+  /// never exposed.  Keys need not be sorted (unlike `BulkLoad`); entries
+  /// get a contiguous etag range, entry i carrying `first + i`.
+  /// `etags_out` (optional) receives the per-entry etags.
+  ///
+  /// In memory the involved shards are locked together (index order, the
+  /// same order every multi-shard path uses), so concurrent readers see the
+  /// batch atomically too.
+  Status MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& records,
+      std::vector<uint64_t>* etags_out = nullptr);
+
   Status Get(const std::string& key, std::string* value,
              uint64_t* etag = nullptr) override;
   Status Put(const std::string& key, std::string_view value,
@@ -257,6 +294,19 @@ class ShardedStore : public Store {
   /// measurement layer's `WAL-SYNC` / `WAL-BATCH` series.
   WalStats DrainWalStats() { return wal_.DrainStats(); }
 
+  /// What the last `Open()` replayed, skipped, truncated and scrubbed.
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
+  /// True once a checkpoint-path failure has fail-stopped the store: every
+  /// later mutation fails with the poison status, reads keep working off the
+  /// intact in-memory state (poison-not-corrupt).  WAL-append failures
+  /// poison the WAL itself (same observable effect) — this flag covers the
+  /// window where the WAL is closed for compaction and cannot carry the
+  /// poison.
+  bool IsPoisoned() const {
+    return poisoned_.load(std::memory_order_acquire) || wal_.IsPoisoned();
+  }
+
  private:
   struct Entry {
     std::string value;
@@ -276,9 +326,16 @@ class ShardedStore : public Store {
   /// everything the log produced).
   void AdvanceEtagSource(uint64_t etag);
   uint64_t NextEtag() { return etag_source_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  Env* EnvOrDefault() const {
+    return options_.env != nullptr ? options_.env : Env::Default();
+  }
   Status LogMutation(WalRecord::Kind kind, const std::string& key,
                      std::string_view value, uint64_t etag);
-  void ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag);
+  /// Applies one replayed record; returns the number of entries actually
+  /// applied (0 when the watermark filtered the whole frame).
+  size_t ApplyReplayed(const WalRecord& record, uint64_t skip_upto_etag);
+  /// Fail-stops the store with `why`; returns the poison status.
+  Status PoisonStore(const std::string& why);
 
   StoreOptions options_;
   std::shared_ptr<RpcExecutor> executor_;  // null = sequential batches
@@ -289,6 +346,12 @@ class ShardedStore : public Store {
   /// Etag watermark of the loaded checkpoint; WAL records at or below it
   /// were already folded into the snapshot.
   uint64_t checkpoint_etag_ = 0;
+  RecoveryReport recovery_;
+  /// Set (once, under the checkpoint's stop-the-world locks) when a
+  /// checkpoint-path failure fail-stops the store; `poison_status_` is
+  /// written before the release store and only read after an acquire load.
+  std::atomic<bool> poisoned_{false};
+  Status poison_status_;
 };
 
 }  // namespace kv

@@ -1,0 +1,80 @@
+#ifndef YCSBT_KV_TORTURE_H_
+#define YCSBT_KV_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ycsbt {
+namespace kv {
+
+/// Configuration of one crash-recovery torture run (DESIGN.md §14).
+///
+/// The harness records a seeded CEW-style workload (atomic two-account
+/// transfers via `MultiPut`, single-account rewrites, scratch inserts and
+/// deletes, periodic stop-the-world checkpoints) against a durable
+/// `ShardedStore`, capturing per-operation WAL frame boundaries, per-epoch
+/// WAL byte streams and checkpoint images, and an acked-commit oracle
+/// (the exact key/value/etag state after every acknowledged operation).
+/// It then simulates a crash at every frame boundary plus a seeded sample
+/// of mid-frame and mid-checkpoint offsets by materialising the frozen
+/// byte state into a scratch directory and reopening, and re-runs the
+/// workload live under a `FaultInjectingEnv` for the named crash points
+/// and error injections that need real protocol interleaving.
+struct TortureOptions {
+  uint64_t seed = 0xC0FFEEull;
+  /// Working root; the harness creates per-case subdirectories inside.
+  std::string dir;
+  int accounts = 24;           ///< CEW accounts, each loaded with
+  int initial_balance = 100;   ///< this balance (the conserved total)
+  int ops = 220;               ///< mixed operations after the load
+  int checkpoint_every = 80;   ///< ops between checkpoints (0 = never)
+  int num_shards = 4;
+  int mid_frame_samples = 48;  ///< sampled mid-frame crash offsets
+  int ckpt_scrub_samples = 12; ///< sampled torn/bit-rotted checkpoint images
+};
+
+/// Outcome of a torture run.  `failures == 0` means every simulated crash
+/// state recovered to exactly the acked-commit oracle: no acked commit lost,
+/// no partial multi-key transaction exposed, CEW balance conserved, un-acked
+/// tails only ever truncated.
+struct TortureReport {
+  uint64_t crash_states = 0;   ///< distinct simulated crash states verified
+  uint64_t failures = 0;
+  std::vector<std::string> failure_details;  ///< capped at 20 entries
+
+  uint64_t recorded_ops = 0;   ///< acked operations in the recorded run
+  uint64_t epochs = 0;         ///< checkpoint generations (>= 1)
+  uint64_t wal_bytes_total = 0;
+  /// FNV-1a digest over the recorded byte streams, every case identity and
+  /// every recovered-state digest: equal seeds => equal digests, byte for
+  /// byte (the determinism acceptance check).
+  uint64_t schedule_digest = 0;
+
+  // Aggregates of the per-case recovery reports.
+  uint64_t replayed_records_total = 0;
+  uint64_t truncated_bytes_total = 0;
+  uint64_t scrubbed_checkpoints = 0;
+  uint64_t live_cases = 0;     ///< live fault-injection cases run
+};
+
+/// Runs the full torture suite under `opts.dir` (created if needed; the
+/// harness wipes only files it wrote).  Deterministic in `opts.seed`.
+TortureReport RunCrashTorture(const TortureOptions& opts);
+
+/// Demonstrates the pre-hardening missing-directory-fsync bug: runs a
+/// workload whose second checkpoint crashes at `ckpt_post_trunc` with
+/// `checkpoint_dir_sync` as given, reopens, and returns true when acked
+/// commits were LOST (the crash resurrected the old snapshot next to the
+/// already-truncated WAL).  With `dir_sync=false` (the old behaviour) this
+/// returns true; with the hardened default it must return false.
+bool DemonstrateDirSyncLoss(const std::string& dir, uint64_t seed,
+                            bool dir_sync);
+
+/// Renders a report as the sweep binary's summary block.
+std::string FormatTortureReport(const TortureReport& report);
+
+}  // namespace kv
+}  // namespace ycsbt
+
+#endif  // YCSBT_KV_TORTURE_H_

@@ -1,8 +1,5 @@
 #include "kv/wal.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -105,14 +102,13 @@ WriteAheadLog::~WriteAheadLog() { Close(); }
 Status WriteAheadLog::Open(const std::string& path, WalOptions options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) return Status::InvalidArgument("WAL already open");
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) return Status::IOError("cannot open WAL: " + path);
+  env_ = options.env != nullptr ? options.env : Env::Default();
+  Status s = env_->NewWritableFile(path, /*truncate_existing=*/false, &file_);
+  if (!s.ok()) return s;
   path_ = path;
   options_ = options;
   if (options_.group_max_batch < 1) options_.group_max_batch = 1;
-  struct ::stat st;
-  intact_bytes_ =
-      ::fstat(::fileno(file_), &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+  intact_bytes_ = static_cast<size_t>(file_->size());
   next_lsn_ = 0;
   durable_lsn_ = 0;
   leader_active_ = false;
@@ -139,34 +135,58 @@ WalStats WriteAheadLog::DrainStats() {
   return out;
 }
 
-void WriteAheadLog::SimulateTornWriteForTesting(int count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  torn_writes_left_ += count;
-}
-
-size_t WriteAheadLog::WriteBytes(const char* data, size_t size, bool tear) {
-  if (tear) {
-    // Half the frame lands, then the device "fails": the torn-frame shape a
-    // real short write leaves behind.
-    size_t half = size / 2;
-    if (half != 0) std::fwrite(data, 1, half, file_);
-    return half;
-  }
-  return std::fwrite(data, 1, size, file_);
-}
-
 void WriteAheadLog::PoisonLocked(const std::string& why) {
   poisoned_ = true;
   std::string detail = "WAL fail-stop: " + why;
   if (file_ != nullptr) {
-    // Push any buffered partial frame to the OS, then cut the file back to
-    // the last intact offset so the tear never becomes mid-log corruption.
-    std::fflush(file_);
-    if (::ftruncate(::fileno(file_), static_cast<off_t>(intact_bytes_)) != 0) {
+    // Cut the file back to the last intact offset so the tear never becomes
+    // mid-log corruption.  After a simulated env crash the truncate fails by
+    // design — the frozen state must stay exactly as the "kernel" left it.
+    (void)file_->Flush();
+    if (!file_->Truncate(intact_bytes_).ok()) {
       detail += " (truncation to last intact offset also failed)";
     }
   }
   poison_status_ = Status::IOError(detail);
+}
+
+Status WriteAheadLog::WriteAndMaybeSync(const std::string& buffer, bool sync,
+                                        uint64_t* sync_us, std::string* why) {
+  Status s = file_->Append(buffer);
+  if (!s.ok()) {
+    *why = "short write: " + s.message();
+    return s;
+  }
+  s = file_->Flush();
+  if (!s.ok()) {
+    *why = "flush failed: " + s.message();
+    return s;
+  }
+  if (sync) {
+    s = env_->MaybeCrashPoint("wal_pre_sync");
+    if (!s.ok()) {
+      *why = "crashed before fdatasync";
+      return s;
+    }
+    Stopwatch sync_watch;
+    s = file_->Sync();
+    if (!s.ok()) {
+      // fsyncgate: the kernel may already have dropped the dirty pages; a
+      // retry would silently "succeed" without them.  Fail-stop instead.
+      *why = "fdatasync failed: " + s.message();
+      return s;
+    }
+    *sync_us = sync_watch.ElapsedMicros();
+    s = env_->MaybeCrashPoint("wal_post_sync");
+    if (!s.ok()) {
+      // The batch IS durable, but the crash means no acknowledgement ever
+      // reached a caller — recovery may legitimately serve it (synced data
+      // is never lost, acks are).
+      *why = "crashed after fdatasync";
+      return s;
+    }
+  }
+  return Status::OK();
 }
 
 Status WriteAheadLog::Append(const WalRecord& record, bool sync,
@@ -187,24 +207,15 @@ Status WriteAheadLog::Append(const WalRecord& record, bool sync,
 Status WriteAheadLog::AppendDirect(std::string frame, bool sync, uint64_t lsn,
                                    std::unique_lock<std::mutex>& lock) {
   (void)lock;  // held throughout: the seed's one-writer-at-a-time discipline
-  bool tear = torn_writes_left_ > 0;
-  if (tear) --torn_writes_left_;
-  if (WriteBytes(frame.data(), frame.size(), tear) != frame.size()) {
-    PoisonLocked("short write");
-    return poison_status_;
-  }
-  if (std::fflush(file_) != 0) {
-    PoisonLocked("flush failed");
+  uint64_t sync_us = 0;
+  std::string why;
+  if (!WriteAndMaybeSync(frame, sync, &sync_us, &why).ok()) {
+    PoisonLocked(why);
     return poison_status_;
   }
   if (sync) {
-    Stopwatch sync_watch;
-    if (::fdatasync(::fileno(file_)) != 0) {
-      PoisonLocked("fdatasync failed");
-      return poison_status_;
-    }
     ++stats_.syncs;
-    stats_.sync_latency_us.Add(static_cast<int64_t>(sync_watch.ElapsedMicros()));
+    stats_.sync_latency_us.Add(static_cast<int64_t>(sync_us));
   }
   intact_bytes_ += frame.size();
   durable_lsn_ = lsn;
@@ -264,27 +275,18 @@ Status WriteAheadLog::LeadBatch(bool sync, std::unique_lock<std::mutex>& lock) {
     want_sync |= f.sync;
     batch_bytes += f.frame.size();
   }
-  bool tear = torn_writes_left_ > 0;
-  if (tear) --torn_writes_left_;
 
-  // One contiguous buffer, one write, one flush, one sync — the whole point.
-  // The lock is released for the I/O so the *next* batch accumulates while
-  // this one is inside fdatasync.
+  // One contiguous buffer, one write, one sync — the whole point.  The lock
+  // is released for the I/O so the *next* batch accumulates while this one
+  // is inside fdatasync.
   std::string buffer;
   buffer.reserve(batch_bytes);
   for (const PendingFrame& f : batch) buffer.append(f.frame);
 
   lock.unlock();
-  bool io_ok = WriteBytes(buffer.data(), buffer.size(), tear) == buffer.size() &&
-               std::fflush(file_) == 0;
   uint64_t sync_us = 0;
-  bool synced = false;
-  if (io_ok && want_sync) {
-    Stopwatch sync_watch;
-    synced = ::fdatasync(::fileno(file_)) == 0;
-    sync_us = sync_watch.ElapsedMicros();
-    io_ok = synced;
-  }
+  std::string why;
+  bool io_ok = WriteAndMaybeSync(buffer, want_sync, &sync_us, &why).ok();
   lock.lock();
 
   Status result;
@@ -292,8 +294,7 @@ Status WriteAheadLog::LeadBatch(bool sync, std::unique_lock<std::mutex>& lock) {
     // None of the batch is acknowledged; every waiter (and every later
     // appender) gets the poison status, and the tear is cut back to the
     // pre-batch offset.
-    PoisonLocked(want_sync && !synced ? "fdatasync failed on batch"
-                                      : "short write in batch");
+    PoisonLocked(why + " (batch)");
     result = poison_status_;
   } else {
     intact_bytes_ += buffer.size();
@@ -314,19 +315,13 @@ Status WriteAheadLog::LeadBatch(bool sync, std::unique_lock<std::mutex>& lock) {
 
 Status WriteAheadLog::Replay(const std::string& path,
                              const std::function<void(const WalRecord&)>& apply,
-                             size_t* valid_bytes) {
+                             size_t* valid_bytes, Env* env) {
   if (valid_bytes != nullptr) *valid_bytes = 0;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no log yet: empty store
-  std::vector<char> data;
-  {
-    char buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-      data.insert(data.end(), buf, buf + n);
-    }
-  }
-  std::fclose(f);
+  if (env == nullptr) env = Env::Default();
+  std::string data;
+  Status read = env->ReadFileToString(path, &data);
+  if (read.IsNotFound()) return Status::OK();  // empty store
+  if (!read.ok()) return read;
 
   size_t pos = 0;
   while (pos + 4 + kHeaderAfterCrc <= data.size()) {
@@ -347,7 +342,8 @@ Status WriteAheadLog::Replay(const std::string& path,
     }
     if (kind != static_cast<uint8_t>(WalRecord::Kind::kPut) &&
         kind != static_cast<uint8_t>(WalRecord::Kind::kDelete) &&
-        kind != static_cast<uint8_t>(WalRecord::Kind::kBulkPut)) {
+        kind != static_cast<uint8_t>(WalRecord::Kind::kBulkPut) &&
+        kind != static_cast<uint8_t>(WalRecord::Kind::kTxnPut)) {
       return Status::Corruption("WAL record has unknown kind");
     }
     WalRecord record;
@@ -365,11 +361,12 @@ Status WriteAheadLog::Replay(const std::string& path,
 void WriteAheadLog::Close() {
   std::unique_lock<std::mutex> lock(mu_);
   // Let an in-flight leader finish its batch; it writes with the lock
-  // released, so closing underneath it would hand fclose a live stream.
+  // released, so closing underneath it would pull the file out from under a
+  // live writer.
   cv_.wait(lock, [&] { return !leader_active_; });
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    (void)file_->Close();
+    file_.reset();
   }
   cv_.notify_all();
 }

@@ -3,8 +3,8 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -12,6 +12,7 @@
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "kv/env.h"
 
 namespace ycsbt {
 namespace kv {
@@ -22,7 +23,13 @@ struct WalRecord {
   /// puts (the `ShardedStore::BulkLoad` fast path): `key` is empty, `value`
   /// is an `EncodeBulkPayload` packing of the run, and `etag` is the etag of
   /// the run's *first* record — entry i of the payload carries `etag + i`.
-  enum class Kind : uint8_t { kPut = 1, kDelete = 2, kBulkPut = 3 };
+  ///
+  /// `kTxnPut` is the same packing for an *atomic multi-key transaction*
+  /// (`ShardedStore::MultiPut`): all its puts commit in one frame, so a
+  /// crash can only ever lose or keep the transaction as a unit — replay
+  /// never exposes a partial multi-key commit.  Unlike `kBulkPut` the keys
+  /// need not be sorted.
+  enum class Kind : uint8_t { kPut = 1, kDelete = 2, kBulkPut = 3, kTxnPut = 4 };
 
   Kind kind = Kind::kPut;
   uint64_t etag = 0;
@@ -45,7 +52,7 @@ bool DecodeBulkPayload(const std::string& payload,
 /// Commit-path configuration of a `WriteAheadLog`.
 struct WalOptions {
   /// Leader/follower group commit: appenders enqueue encoded frames and one
-  /// leader writes + syncs the whole batch with a single fwrite/fdatasync,
+  /// leader writes + syncs the whole batch with a single write/fdatasync,
   /// then wakes every follower whose LSN the durable watermark now covers.
   /// Off = the seed behaviour (each append writes under the lock).
   bool group_commit = false;
@@ -58,6 +65,9 @@ struct WalOptions {
   /// latency.  Non-zero trades commit latency for larger batches on media
   /// where fdatasync dwarfs the window.
   uint32_t group_window_us = 0;
+  /// Filesystem seam; nullptr = `Env::Default()`.  Tests substitute a
+  /// `FaultInjectingEnv` to tear writes, fail syncs and freeze crash states.
+  Env* env = nullptr;
 };
 
 /// Durability counters of one `WriteAheadLog`, drained (snapshot + reset) by
@@ -84,12 +94,17 @@ struct WalStats {
 /// and CRCs its frame *outside* the lock, enqueues it under the lock with a
 /// monotonically increasing LSN, and blocks.  The first waiter that finds no
 /// active leader becomes the leader: it drains the queue (after an optional
-/// accumulation window), issues one fwrite + fflush (+ one fdatasync when any
-/// batch member asked to sync) for the whole batch with the lock released,
+/// accumulation window), issues one write (+ one fdatasync when any batch
+/// member asked to sync) for the whole batch with the lock released,
 /// publishes the durable-LSN watermark, steps down and wakes everyone.
 /// Followers whose LSN the watermark covers return; one of the rest takes
 /// over as the next leader (leader handoff).  Batches therefore form
 /// naturally while the previous leader is inside fdatasync.
+///
+/// Every byte goes through the `Env` seam (`WalOptions::env`), and the
+/// protocol announces `wal_pre_sync` / `wal_post_sync` crash points around
+/// each fdatasync — a `FaultInjectingEnv` can freeze the file exactly as a
+/// kernel crash between those milestones would have (DESIGN.md §14).
 ///
 /// Failure contract (fail-stop): a short write, flush failure or fdatasync
 /// failure *poisons* the log — the torn frame is truncated back to the last
@@ -97,7 +112,9 @@ struct WalStats {
 /// with the poison status, and nothing after the failure point is ever
 /// acknowledged.  A torn frame can then only ever be a *tail*, which `Replay`
 /// (and `ShardedStore::Open`'s truncation) already handles; it can never be
-/// buried mid-log by later appends.
+/// buried mid-log by later appends.  A failed fdatasync is never retried:
+/// under fsyncgate semantics the kernel may already have dropped the dirty
+/// pages, so the only safe answer is to stop acknowledging.
 ///
 /// Replay stops cleanly at the first torn or corrupt record (the tail that a
 /// crash may leave behind), matching the recovery contract of LevelDB-style
@@ -125,10 +142,11 @@ class WriteAheadLog {
   /// replay with OK; corruption *before* the end returns Corruption.
   /// `valid_bytes` (optional) receives the offset just past the last intact
   /// record — the owner must truncate the file there before appending again,
-  /// or the torn tail would sit mid-log on the next replay.
+  /// or the torn tail would sit mid-log on the next replay.  Reads go
+  /// through `env` (nullptr = `Env::Default()`).
   static Status Replay(const std::string& path,
                        const std::function<void(const WalRecord&)>& apply,
-                       size_t* valid_bytes = nullptr);
+                       size_t* valid_bytes = nullptr, Env* env = nullptr);
 
   /// Closes the file; further Appends fail.  Waits for an in-flight leader
   /// batch to finish.  Callers must not close while appends are in flight.
@@ -146,11 +164,6 @@ class WriteAheadLog {
   /// last drain (or Open).
   WalStats DrainStats();
 
-  /// Test hook: the next `count` write attempts tear mid-frame (half the
-  /// bytes land, then a short write is reported), exercising the fail-stop
-  /// and truncation paths without a real failing device.
-  void SimulateTornWriteForTesting(int count = 1);
-
  private:
   struct PendingFrame {
     std::string frame;
@@ -158,7 +171,7 @@ class WriteAheadLog {
     bool sync = false;
   };
 
-  /// Appends with group commit off: write + flush (+ sync) under the lock.
+  /// Appends with group commit off: write (+ sync) under the lock.
   Status AppendDirect(std::string frame, bool sync, uint64_t lsn,
                       std::unique_lock<std::mutex>& lock);
 
@@ -171,9 +184,12 @@ class WriteAheadLog {
   /// lock released, publishes the durable watermark and steps down.
   Status LeadBatch(bool sync, std::unique_lock<std::mutex>& lock);
 
-  /// Writes `data` to the file, honouring the torn-write test hook.
-  /// Returns the number of bytes actually written.
-  size_t WriteBytes(const char* data, size_t size, bool tear);
+  /// Writes `buffer` as one Append (+ crash-pointed fdatasync when `sync`).
+  /// On failure `*why` names the failing step.  Called with the I/O allowed
+  /// (direct path: lock held; leader path: lock released — `file_` and
+  /// `env_` are stable while a leader is active because Close waits).
+  Status WriteAndMaybeSync(const std::string& buffer, bool sync,
+                           uint64_t* sync_us, std::string* why);
 
   /// Records a fail-stop: poisons the log and attempts to truncate the file
   /// back to the last intact offset.  Requires `mu_`.
@@ -181,7 +197,8 @@ class WriteAheadLog {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::FILE* file_ = nullptr;
+  Env* env_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
   WalOptions options_;
 
@@ -195,8 +212,6 @@ class WriteAheadLog {
   /// Bytes of fully written-and-flushed frames; the truncation target after
   /// a torn write.
   size_t intact_bytes_ = 0;
-
-  int torn_writes_left_ = 0;  // test hook
 
   WalStats stats_;
 };

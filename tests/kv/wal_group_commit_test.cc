@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "kv/fault_env.h"
 #include "kv/store.h"
 #include "kv/wal.h"
 
@@ -209,17 +210,25 @@ TEST_F(WalGroupCommitTest, AckedAppendsSurviveCrashSnapshot) {
 }
 
 TEST_F(WalGroupCommitTest, TornBatchWritePoisonsAndTruncates) {
+  // The torn write comes from the Env seam now: the production write path
+  // has a single Append call, and the fault env tears the first armed one.
+  StorageFaultOptions faults;
+  faults.torn_write_at = 1;
+  FaultInjectingEnv env(Env::Default(), faults);
+  WalOptions options = GroupOptions();
+  options.env = &env;
   WriteAheadLog wal;
-  ASSERT_TRUE(wal.Open(path_, GroupOptions()).ok());
+  ASSERT_TRUE(wal.Open(path_, options).ok());
   WalRecord good{WalRecord::Kind::kPut, 1, "intact", "v"};
   ASSERT_TRUE(wal.Append(good, /*sync=*/true).ok());
   size_t intact_size = FileSize(path_);
 
-  wal.SimulateTornWriteForTesting();
+  env.set_enabled(true);
   WalRecord torn{WalRecord::Kind::kPut, 2, "torn", "v"};
   Status s = wal.Append(torn, /*sync=*/true);
   EXPECT_TRUE(s.IsIOError());
   EXPECT_TRUE(wal.IsPoisoned());
+  EXPECT_EQ(env.stats().torn_writes, 1u);
 
   // Fail-stop: later appends are rejected outright, nothing else lands.
   WalRecord after{WalRecord::Kind::kPut, 3, "after", "v"};
@@ -241,12 +250,17 @@ TEST_F(WalGroupCommitTest, TornBatchWritePoisonsAndTruncates) {
 
 TEST_F(WalGroupCommitTest, TornDirectWritePoisonsAndTruncates) {
   // The fail-stop contract holds in the non-grouped path too.
+  StorageFaultOptions faults;
+  faults.torn_write_at = 1;
+  FaultInjectingEnv env(Env::Default(), faults);
+  WalOptions options;
+  options.env = &env;
   WriteAheadLog wal;
-  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Open(path_, options).ok());
   ASSERT_TRUE(wal.Append({WalRecord::Kind::kPut, 1, "a", "v"}, false).ok());
   size_t intact_size = FileSize(path_);
 
-  wal.SimulateTornWriteForTesting();
+  env.set_enabled(true);
   EXPECT_TRUE(wal.Append({WalRecord::Kind::kPut, 2, "b", "v"}, false).IsIOError());
   EXPECT_TRUE(wal.IsPoisoned());
   EXPECT_TRUE(wal.Append({WalRecord::Kind::kPut, 3, "c", "v"}, false).IsIOError());
@@ -258,9 +272,14 @@ TEST_F(WalGroupCommitTest, TornDirectWritePoisonsAndTruncates) {
 TEST_F(WalGroupCommitTest, PoisonWakesEveryWaiterInTheBatch) {
   // When a batch's write tears, every waiter blocked on that batch must wake
   // and see the poison status — none may hang or report success.
+  StorageFaultOptions faults;
+  faults.write_error_rate = 1.0;  // every armed write fails cleanly
+  FaultInjectingEnv env(Env::Default(), faults);
+  env.set_enabled(true);
+  WalOptions options = GroupOptions();
+  options.env = &env;
   WriteAheadLog wal;
-  ASSERT_TRUE(wal.Open(path_, GroupOptions()).ok());
-  wal.SimulateTornWriteForTesting(/*count=*/1000);  // all writes fail
+  ASSERT_TRUE(wal.Open(path_, options).ok());
 
   constexpr int kThreads = 6;
   std::vector<std::thread> pool;
