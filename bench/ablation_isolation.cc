@@ -10,7 +10,13 @@
 //   snapshot      — the client-coordinated library's SI: write skew admitted
 //                   (disjoint write sets commit), lost updates prevented;
 //   serializable  — SI + commit-time read validation: nothing admitted;
-//   2PL           — embedded strict two-phase locking: nothing admitted.
+//   2PL           — embedded strict two-phase locking: nothing admitted;
+//   OCC           — embedded Silo-style engine: read-set validation rejects
+//                   the skew (serializable), at in-memory speed — the
+//                   ceiling row of the table;
+//   OCC no-valid. — the same engine with occ.read_validation=false: atomic
+//                   write batches but unvalidated reads, so the skew (and
+//                   worse) comes back — isolating what validation buys.
 
 #include <cstdio>
 
@@ -23,19 +29,26 @@ int main(int argc, char** argv) {
   bench::Banner("Ablation: isolation level vs write-skew anomaly",
                 "Section VII (future work, implemented)", full);
 
-  const uint64_t pairs = full ? 200 : 50;
-  const uint64_t ops = full ? 40000 : 6000;
-  const int threads = 8;
+  // Write skew only arises while a pair drains from its initial balance, so
+  // the pair count bounds the opportunities; the in-memory OCC rows have a
+  // far narrower read-to-install window than SI's whole-transaction snapshot
+  // and need the larger pair pool + 16 threads to exhibit it.
+  const uint64_t pairs = full ? 8000 : 4000;
+  const uint64_t ops = full ? 160000 : 64000;
+  const int threads = 16;
 
   struct Config {
     const char* label;
     const char* db;
-    const char* isolation;  // nullptr = n/a
+    const char* isolation;       // nullptr = n/a
+    const char* occ_validation;  // nullptr = n/a
   } configs[] = {
-      {"none (raw store)", "rawhttp", nullptr},
-      {"snapshot isolation", "txn+rawhttp", "snapshot"},
-      {"serializable", "txn+rawhttp", "serializable"},
-      {"strict 2PL", "2pl+memkv", nullptr},
+      {"none (raw store)", "rawhttp", nullptr, nullptr},
+      {"snapshot isolation", "txn+rawhttp", "snapshot", nullptr},
+      {"serializable", "txn+rawhttp", "serializable", nullptr},
+      {"strict 2PL", "2pl+memkv", nullptr, nullptr},
+      {"OCC serializable", "occ+memkv", nullptr, "true"},
+      {"OCC no validation", "occ+memkv", nullptr, "false"},
   };
 
   std::printf("\n%-22s %16s %14s %12s %12s\n", "protection", "violated pairs",
@@ -44,6 +57,9 @@ int main(int argc, char** argv) {
     Properties p;
     p.Set("db", config.db);
     if (config.isolation != nullptr) p.Set("txn.isolation", config.isolation);
+    if (config.occ_validation != nullptr) {
+      p.Set("occ.read_validation", config.occ_validation);
+    }
     p.Set("rawhttp.latency_median_us", "200");
     p.Set("rawhttp.latency_floor_us", "150");
     p.Set("workload", "write_skew");
@@ -52,6 +68,7 @@ int main(int argc, char** argv) {
     p.Set("operationcount", std::to_string(ops));
     p.Set("threads", std::to_string(threads));
     p.Set("loadthreads", "8");
+    p.Set("seed", "20140331");
     core::RunResult r = bench::MustRun(p);
 
     std::string violated = "?", overdraft = "?";
@@ -63,9 +80,10 @@ int main(int argc, char** argv) {
                 violated.c_str(), overdraft.c_str(), r.throughput_ops_sec,
                 r.abort_rate() * 100.0);
   }
-  std::printf("\nexpected: only the raw store and snapshot isolation admit "
-              "violations (write skew is the textbook SI anomaly); "
-              "serializable validation and 2PL admit none, paying for it "
-              "with aborts/blocking.\n");
+  std::printf("\nexpected: the raw store, snapshot isolation and unvalidated "
+              "OCC admit violations (write skew is the textbook SI anomaly); "
+              "serializable validation, 2PL and validated OCC admit none, "
+              "paying for it with aborts/blocking — with the OCC row setting "
+              "the in-memory throughput ceiling.\n");
   return 0;
 }

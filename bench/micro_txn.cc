@@ -9,6 +9,7 @@
 
 #include "txn/client_txn_store.h"
 #include "txn/local_2pl.h"
+#include "txn/occ_engine.h"
 #include "txn/record_codec.h"
 
 namespace {
@@ -111,6 +112,61 @@ void BM_2PLTransfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_2PLTransfer);
+
+std::unique_ptr<txn::OccEngine> MakeOccStore() {
+  txn::OccOptions options;
+  options.epoch_ms = 10;
+  auto store = std::make_unique<txn::OccEngine>(options);
+  for (int i = 0; i < 1000; ++i) {
+    store->LoadPut("k" + std::to_string(i), std::string(100, 'x'));
+  }
+  return store;
+}
+
+void BM_OccTxnReadOnly(benchmark::State& state) {
+  auto store = MakeOccStore();
+  uint64_t i = 0;
+  std::string value;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    txn->Read("k" + std::to_string(i++ % 1000), &value);
+    txn->Commit();
+  }
+}
+BENCHMARK(BM_OccTxnReadOnly);
+
+void BM_OccCommitByWriteSetSize(benchmark::State& state) {
+  auto store = MakeOccStore();
+  const int keys = static_cast<int>(state.range(0));
+  uint64_t round = 0;
+  for (auto _ : state) {
+    auto txn = store->Begin();
+    for (int k = 0; k < keys; ++k) {
+      txn->Write("k" + std::to_string((round * keys + k) % 1000),
+                 std::string(100, 'y'));
+    }
+    benchmark::DoNotOptimize(txn->Commit());
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_OccCommitByWriteSetSize)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_OccTransfer(benchmark::State& state) {
+  txn::OccEngine store{txn::OccOptions{}};
+  store.LoadPut("a", "1000000");
+  store.LoadPut("b", "1000000");
+  std::string va, vb;
+  for (auto _ : state) {
+    auto txn = store.Begin();
+    txn->Read("a", &va);
+    txn->Read("b", &vb);
+    txn->Write("a", std::to_string(std::stoll(va) - 1));
+    txn->Write("b", std::to_string(std::stoll(vb) + 1));
+    benchmark::DoNotOptimize(txn->Commit());
+  }
+}
+BENCHMARK(BM_OccTransfer);
 
 void BM_SnapshotScan(benchmark::State& state) {
   auto store = MakeClientStore();

@@ -98,6 +98,9 @@ constexpr std::string_view kKnownKeys[] = {
     "memkv.wal_group_window_us",
     "memkv.wal_path",
     "minfieldlength",
+    "occ.epoch_ms",
+    "occ.read_validation",
+    "occ.retire_batch",
     "operationcount",
     "rawhttp.latency_floor_us",
     "rawhttp.latency_median_us",

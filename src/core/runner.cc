@@ -112,6 +112,18 @@ RunSummary RunResult::MakeSummary() const {
     std::snprintf(favg, sizeof(favg), "%.2f", fanout_avg_width);
     summary.extra.emplace_back("FANOUT AVG WIDTH", favg);
   }
+  if (occ_enabled) {
+    summary.extra.emplace_back("OCC COMMITS", std::to_string(occ_commits));
+    summary.extra.emplace_back("OCC ABORTS", std::to_string(occ_aborts));
+    summary.extra.emplace_back("OCC VALIDATE FAILS",
+                               std::to_string(occ_validation_fails));
+    summary.extra.emplace_back("EPOCH ADVANCES",
+                               std::to_string(occ_epoch_advances));
+    summary.extra.emplace_back("OCC VERSIONS RETIRED",
+                               std::to_string(occ_versions_retired));
+    summary.extra.emplace_back("OCC VERSIONS FREED",
+                               std::to_string(occ_versions_freed));
+  }
   if (replication_enabled) {
     summary.extra.emplace_back("FAILOVERS", std::to_string(failovers));
     summary.extra.emplace_back("NOT-LEADER REJECTS",
@@ -654,6 +666,12 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
   txn::ClientTxnStore* txn_store = factory_->client_txn_store();
   if (txn_store != nullptr) txn_before = txn_store->stats();
 
+  // The OCC engine counts load-phase LoadPuts and ticker epochs too, so its
+  // report is likewise a run-window delta.
+  txn::OccStats occ_before;
+  txn::OccEngine* occ = factory_->occ_engine();
+  if (occ != nullptr) occ_before = occ->stats();
+
   // Same for the resilience layer: the load phase goes through it too, so
   // the report must be the run-window delta.
   kv::ResilientStore* resilience = factory_->resilient_store();
@@ -839,6 +857,30 @@ Status WorkloadRunner::Run(const RunOptions& options, RunResult* result) {
                               Status::Code::kOk, result->roll_forwards);
     measurements_->RecordMany(measurements_->RegisterOp("TXN-RECOVERY-BACK"), 0,
                               Status::Code::kOk, result->roll_backs);
+  }
+
+  if (occ != nullptr) {
+    // OCC commit-protocol outcomes during the run window: summary counters
+    // plus zero-latency count series so both exporters render them.
+    txn::OccStats after = occ->stats();
+    result->occ_enabled = true;
+    result->occ_commits = after.commits - occ_before.commits;
+    result->occ_aborts = after.aborts - occ_before.aborts;
+    result->occ_validation_fails =
+        after.validation_fails - occ_before.validation_fails;
+    result->occ_epoch_advances =
+        after.epoch_advances - occ_before.epoch_advances;
+    result->occ_versions_retired =
+        after.versions_retired - occ_before.versions_retired;
+    result->occ_versions_freed =
+        after.versions_freed - occ_before.versions_freed;
+    measurements_->RecordMany(measurements_->RegisterOp("OCC-ABORT"), 0,
+                              Status::Code::kConflict, result->occ_aborts);
+    measurements_->RecordMany(measurements_->RegisterOp("OCC-VALIDATE-FAIL"), 0,
+                              Status::Code::kConflict,
+                              result->occ_validation_fails);
+    measurements_->RecordMany(measurements_->RegisterOp("EPOCH-ADVANCE"), 0,
+                              Status::Code::kOk, result->occ_epoch_advances);
   }
 
   if (resilience != nullptr) {

@@ -169,6 +169,16 @@ struct RunResult {
   uint64_t fanout_items = 0;      ///< total items across those batches
   double fanout_avg_width = 0.0;  ///< mean items per batch
 
+  // OCC engine accounting for the run window (all zero unless the binding
+  // is `occ+memkv`): commit-protocol outcomes and the epoch machinery.
+  bool occ_enabled = false;
+  uint64_t occ_commits = 0;           ///< transactions the engine committed
+  uint64_t occ_aborts = 0;            ///< engine-level aborts (incl. validation)
+  uint64_t occ_validation_fails = 0;  ///< commits rejected by read-set validation
+  uint64_t occ_epoch_advances = 0;    ///< global-epoch ticks during the run
+  uint64_t occ_versions_retired = 0;  ///< old versions handed to retire lists
+  uint64_t occ_versions_freed = 0;    ///< retired versions actually reclaimed
+
   // Multi-region replication accounting for the run window (all zero unless
   // `cloud.regions > 1` wired a `cloud::ReplicatedCloudStore`).
   bool replication_enabled = false;

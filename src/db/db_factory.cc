@@ -194,6 +194,22 @@ Status DBFactory::Init() {
     return Status::OK();
   }
 
+  if (name_ == "occ+memkv") {
+    // Self-contained in-memory engine (DESIGN.md §15): no kv::Store below
+    // it, so the fault/resilience decorators do not apply to this binding.
+    txn::OccOptions options;
+    options.epoch_ms = props_.GetUint("occ.epoch_ms", options.epoch_ms);
+    options.read_validation =
+        props_.GetBool("occ.read_validation", options.read_validation);
+    options.retire_batch = static_cast<size_t>(
+        props_.GetUint("occ.retire_batch", options.retire_batch));
+    auto engine = std::make_shared<txn::OccEngine>(options);
+    occ_engine_ = engine.get();
+    txn_kv_ = engine;
+    initialized_ = true;
+    return Status::OK();
+  }
+
   if (name_ == "2pl+memkv") {
     front_store_ = MakeLocalEngine();
     if (!local_engine_status_.ok()) return local_engine_status_;

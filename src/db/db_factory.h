@@ -16,6 +16,7 @@
 #include "kv/resilient_store.h"
 #include "txn/client_txn_store.h"
 #include "txn/local_2pl.h"
+#include "txn/occ_engine.h"
 
 namespace ycsbt {
 
@@ -33,6 +34,7 @@ namespace ycsbt {
 /// | `was`, `gcs`  | KvStoreDB | simulated cloud store |
 /// | `txn+memkv`, `txn+rawhttp`, `txn+was`, `txn+gcs` | TxnDB | client-coordinated txn library over that base |
 /// | `2pl+memkv`   | TxnDB | embedded strict-2PL engine |
+/// | `occ+memkv`   | TxnDB | embedded Silo-style OCC engine (`txn::OccEngine`) |
 ///
 /// Other properties consumed here: `memkv.shards`, `memkv.wal_path`,
 /// `memkv.sync_wal`, `memkv.wal_group_commit`, `memkv.wal_group_max_batch`,
@@ -45,7 +47,10 @@ namespace ycsbt {
 /// `txn.timestamps` (hlc|oracle), `txn.oracle_rtt_us`, `txn.cleanup_tsr`,
 /// `txn.fanout_threads`, `txn.max_inflight`, `txn.lock_acquire_mode`
 /// (ordered|nowait), `txn.lock_wait_jitter`, `txn.lock_wait_delay_us`,
-/// `txn.lock_wait_max_delay_us`, `2pl.lock_timeout_us`, `basicdb.delay_us`.
+/// `txn.lock_wait_max_delay_us`, `2pl.lock_timeout_us`, `basicdb.delay_us`,
+/// `occ.epoch_ms`, `occ.read_validation`, `occ.retire_batch` (the last three
+/// only on `occ+memkv`, which is self-contained: it sits on no `kv::Store`,
+/// so the fault-injection, resilience and latency decorators do not apply).
 ///
 /// When `txn.fanout_threads > 0` a shared `RpcExecutor` is built (worker
 /// RNGs seeded from the run's `seed` property) and attached to the cloud
@@ -117,6 +122,9 @@ class DBFactory {
   }
   const std::shared_ptr<txn::TransactionalKV>& txn_kv() const { return txn_kv_; }
   txn::ClientTxnStore* client_txn_store() const { return client_txn_store_; }
+  /// Non-null iff the binding is `occ+memkv` — used to drain OCC commit
+  /// counters into the measurements.
+  txn::OccEngine* occ_engine() const { return occ_engine_; }
   /// Non-null iff fault injection is configured; arm with `set_enabled`.
   kv::FaultInjectingStore* fault_store() const { return fault_store_.get(); }
   /// Non-null iff `storage.fault.*` is configured; arm with `set_enabled`.
@@ -173,6 +181,7 @@ class DBFactory {
   std::shared_ptr<RpcExecutor> rpc_executor_;
   std::shared_ptr<txn::TransactionalKV> txn_kv_;
   txn::ClientTxnStore* client_txn_store_ = nullptr;  // owned via txn_kv_
+  txn::OccEngine* occ_engine_ = nullptr;             // owned via txn_kv_
   uint64_t basic_delay_us_ = 0;
   bool initialized_ = false;
 };

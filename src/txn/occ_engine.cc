@@ -1,0 +1,511 @@
+#include "txn/occ_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace ycsbt {
+namespace txn {
+
+namespace {
+
+/// One spin-loop backoff step: a pause instruction while the owner is
+/// presumably mid-install, a yield every 64 spins in case it was preempted.
+inline void SpinPause(int spins) {
+  if ((spins & 63) == 63) {
+    std::this_thread::yield();
+    return;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+std::atomic<uint64_t> g_next_engine_id{1};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Memory-ordering note (DESIGN.md §15).  All epoch-protocol atomics — the
+// pin store, the version-pointer exchange/loads, the reclaimer's pin loads
+// and the global-epoch loads — use seq_cst, because the safety argument
+// ("a reader that obtained a version pointer before its unlink is either
+// still pinned in an epoch <= the retire stamp, or its unpin store is
+// visible to the reclaimer") needs the single total order, not just
+// acquire/release pairs.  On x86-64 the only seq_cst op that costs anything
+// is the once-per-transaction pin store; the hot-path loads compile to
+// plain moves.  TSan-wise every actual free is reached through a
+// pin-store -> reclaimer-load synchronizes-with edge, so no fence-only
+// reasoning is involved.
+// ---------------------------------------------------------------------------
+
+OccEngine::OccEngine(OccOptions options)
+    : options_(options),
+      engine_id_(g_next_engine_id.fetch_add(1, std::memory_order_relaxed)),
+      shards_(std::max<size_t>(1, options.index_shards)) {
+  if (options_.retire_batch == 0) options_.retire_batch = 1;
+  if (options_.epoch_ms > 0) {
+    ticker_ = std::thread([this] { TickerLoop(); });
+  }
+}
+
+OccEngine::~OccEngine() {
+  if (ticker_.joinable()) {
+    stop_ticker_.store(true, std::memory_order_relaxed);
+    ticker_.join();
+  }
+  // Single-threaded teardown (all clients joined before the factory drops
+  // the engine): every remaining version is unreachable-after-this, so the
+  // epoch machinery is bypassed.
+  for (const auto& st : thread_states_) {
+    for (const Retired& r : st->retired) delete r.version;
+  }
+  for (Shard& shard : shards_) {
+    for (const auto& rec : shard.records) {
+      delete rec->version.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+OccEngine::Shard& OccEngine::ShardFor(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+const OccEngine::Shard& OccEngine::ShardFor(std::string_view key) const {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+OccEngine::Record* OccEngine::FindRecord(std::string_view key) const {
+  const Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+OccEngine::Record* OccEngine::FindOrCreateRecord(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) return it->second;
+  auto owned = std::make_unique<Record>();
+  owned->key.assign(key.data(), key.size());
+  Record* rec = owned.get();
+  shard.records.push_back(std::move(owned));
+  shard.map.emplace(std::string_view(rec->key), rec);
+  return rec;
+}
+
+OccEngine::ThreadState* OccEngine::MyState() {
+  // Cached per (thread, engine); engine ids are process-unique, so stale
+  // entries of destroyed engines can never be matched again.
+  thread_local std::vector<std::pair<uint64_t, ThreadState*>> cache;
+  for (const auto& [id, st] : cache) {
+    if (id == engine_id_) return st;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  auto owned = std::make_unique<ThreadState>();
+  owned->thread_id = thread_states_.size();
+  ThreadState* st = owned.get();
+  thread_states_.push_back(std::move(owned));
+  cache.emplace_back(engine_id_, st);
+  return st;
+}
+
+void OccEngine::Pin(ThreadState* st) {
+  if (st->pin_depth++ > 0) return;
+  st->active_epoch.store(epoch_.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+}
+
+void OccEngine::Unpin(ThreadState* st) {
+  if (--st->pin_depth > 0) return;
+  st->active_epoch.store(ThreadState::kIdle, std::memory_order_seq_cst);
+}
+
+void OccEngine::ReadRecord(const Record* rec, Version** version,
+                           uint64_t* tid) const {
+  for (int spins = 0;; ++spins) {
+    uint64_t t1 = rec->tid.load(std::memory_order_seq_cst);
+    if ((t1 & kLockBit) == 0) {
+      Version* v = rec->version.load(std::memory_order_seq_cst);
+      uint64_t t2 = rec->tid.load(std::memory_order_seq_cst);
+      if (t1 == t2) {
+        // `v` was the current version at some instant between the two TID
+        // loads (a TID can never repeat on a record: each thread's seq is
+        // consumed once).  Versions are immutable once published and stay
+        // allocated while this thread is pinned, so the caller copies from
+        // `v` safely after we return.
+        *version = v;
+        *tid = t1;
+        return;
+      }
+    }
+    SpinPause(spins);
+  }
+}
+
+void OccEngine::CollectRange(const std::string& start_key, size_t limit,
+                             std::vector<TxScanEntry>* out) const {
+  out->clear();
+  if (limit == 0) return;
+  // Records are never removed from the index, so the key views stay valid
+  // after the shard locks drop; only version access needs the epoch pin.
+  std::vector<const Record*> candidates;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [key, rec] : shard.map) {
+      if (key >= std::string_view(start_key)) candidates.push_back(rec);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Record* a, const Record* b) { return a->key < b->key; });
+  for (const Record* rec : candidates) {
+    Version* v = nullptr;
+    uint64_t tid = 0;
+    ReadRecord(rec, &v, &tid);
+    if (v == nullptr || v->tombstone) continue;
+    out->push_back({rec->key, v->value});
+    if (out->size() >= limit) break;
+  }
+}
+
+void OccEngine::Retire(ThreadState* st, Version* version) {
+  if (version == nullptr) return;
+  // Stamp with the epoch observed AFTER the unlink: any reader still able
+  // to hold this pointer pinned an epoch <= this value.
+  uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+  st->retired.push_back({epoch, version});
+  st->versions_retired.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t OccEngine::SafeReclaimEpoch() const {
+  uint64_t safe = epoch_.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (const auto& st : thread_states_) {
+    uint64_t e = st->active_epoch.load(std::memory_order_seq_cst);
+    if (e < safe) safe = e;
+  }
+  return safe;
+}
+
+void OccEngine::FlushRetired(ThreadState* st, bool force) {
+  if (st->retired.empty()) return;
+  if (!force && st->retired.size() < options_.retire_batch) return;
+  uint64_t safe = SafeReclaimEpoch();
+  size_t kept = 0;
+  uint64_t freed = 0;
+  for (Retired& r : st->retired) {
+    if (r.epoch < safe) {
+      delete r.version;
+      ++freed;
+    } else {
+      st->retired[kept++] = r;
+    }
+  }
+  st->retired.resize(kept);
+  if (freed > 0) st->versions_freed.fetch_add(freed, std::memory_order_relaxed);
+}
+
+void OccEngine::AdvanceEpoch() {
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_advances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OccEngine::TickerLoop() {
+  // Sliced naps (<= 20 ms, same as the runner's paced sleeps) so engine
+  // teardown never blocks a full occ.epoch_ms and a watchdogged suite run
+  // shuts the ticker down promptly.
+  constexpr uint64_t kMaxNapNs = 20'000'000;
+  const uint64_t period_ns = options_.epoch_ms * 1'000'000ull;
+  uint64_t next_tick = SteadyNanos() + period_ns;
+  while (!stop_ticker_.load(std::memory_order_relaxed)) {
+    uint64_t now = SteadyNanos();
+    if (now >= next_tick) {
+      AdvanceEpoch();
+      next_tick = now + period_ns;
+      continue;
+    }
+    uint64_t nap = std::min(next_tick - now, kMaxNapNs);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nap));
+  }
+}
+
+std::unique_ptr<Transaction> OccEngine::Begin() {
+  return std::make_unique<OccTxn>(this, MyState());
+}
+
+Status OccEngine::LoadPut(const std::string& key, std::string_view value) {
+  ThreadState* st = MyState();
+  Pin(st);
+  Record* rec = FindOrCreateRecord(key);
+  uint64_t cur = rec->tid.load(std::memory_order_relaxed);
+  for (int spins = 0;; ++spins) {
+    if ((cur & kLockBit) == 0 &&
+        rec->tid.compare_exchange_weak(cur, cur | kLockBit,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+    SpinPause(spins);
+    cur = rec->tid.load(std::memory_order_relaxed);
+  }
+  auto* nv = new Version{std::string(value), /*tombstone=*/false};
+  Version* old = rec->version.exchange(nv, std::memory_order_seq_cst);
+  uint64_t tid = MakeTid(epoch_.load(std::memory_order_seq_cst), ++st->seq,
+                         st->thread_id);
+  rec->tid.store(tid, std::memory_order_seq_cst);  // also clears the lock
+  Retire(st, old);
+  Unpin(st);
+  FlushRetired(st, /*force=*/false);
+  return Status::OK();
+}
+
+Status OccEngine::ReadCommitted(const std::string& key, std::string* value) {
+  ThreadState* st = MyState();
+  Pin(st);
+  Record* rec = FindRecord(key);
+  Status s = Status::OK();
+  if (rec == nullptr) {
+    s = Status::NotFound();
+  } else {
+    Version* v = nullptr;
+    uint64_t tid = 0;
+    ReadRecord(rec, &v, &tid);
+    if (v == nullptr || v->tombstone) {
+      s = Status::NotFound();
+    } else if (value != nullptr) {
+      *value = v->value;
+    }
+  }
+  Unpin(st);
+  return s;
+}
+
+Status OccEngine::ScanCommitted(const std::string& start_key, size_t limit,
+                                std::vector<TxScanEntry>* out) {
+  ThreadState* st = MyState();
+  Pin(st);
+  CollectRange(start_key, limit, out);
+  Unpin(st);
+  return Status::OK();
+}
+
+OccStats OccEngine::stats() const {
+  OccStats s;
+  s.epoch_advances = epoch_advances_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (const auto& st : thread_states_) {
+    s.commits += st->commits.load(std::memory_order_relaxed);
+    s.aborts += st->aborts.load(std::memory_order_relaxed);
+    s.validation_fails += st->validation_fails.load(std::memory_order_relaxed);
+    s.versions_retired += st->versions_retired.load(std::memory_order_relaxed);
+    s.versions_freed += st->versions_freed.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+bool OccEngine::DebugTidOf(const std::string& key, uint64_t* tid) const {
+  Record* rec = FindRecord(key);
+  if (rec == nullptr) return false;
+  uint64_t cur = rec->tid.load(std::memory_order_seq_cst) & ~kLockBit;
+  if (cur == 0) return false;
+  *tid = cur;
+  return true;
+}
+
+// --------------------------------- OccTxn ----------------------------------
+
+OccTxn::OccTxn(OccEngine* engine, OccEngine::ThreadState* state)
+    : engine_(engine), state_(state) {
+  engine_->Pin(state_);
+  start_epoch_ = state_->active_epoch.load(std::memory_order_relaxed);
+}
+
+OccTxn::~OccTxn() {
+  if (!finished_) {
+    state_->aborts.fetch_add(1, std::memory_order_relaxed);
+    Finish();
+  }
+}
+
+void OccTxn::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  engine_->Unpin(state_);
+}
+
+Status OccTxn::Read(const std::string& key, std::string* value) {
+  if (finished_) return Status::InvalidArgument("transaction already finished");
+  auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    if (it->second.is_delete) return Status::NotFound();
+    if (value != nullptr) *value = it->second.value;
+    return Status::OK();
+  }
+  OccEngine::Record* rec = engine_->FindRecord(key);
+  const bool validate = engine_->options_.read_validation;
+  if (rec == nullptr) {
+    if (validate) absent_reads_.push_back(key);
+    return Status::NotFound();
+  }
+  OccEngine::Version* v = nullptr;
+  uint64_t tid = 0;
+  engine_->ReadRecord(rec, &v, &tid);
+  if (validate) reads_.push_back({rec, tid});
+  if (v == nullptr || v->tombstone) return Status::NotFound();
+  if (value != nullptr) *value = v->value;
+  return Status::OK();
+}
+
+Status OccTxn::Buffer(const std::string& key, std::string_view value,
+                      bool is_delete) {
+  if (finished_) return Status::InvalidArgument("transaction already finished");
+  BufferedWrite& w = writes_[key];
+  w.value.assign(value.data(), value.size());
+  w.is_delete = is_delete;
+  return Status::OK();
+}
+
+Status OccTxn::Write(const std::string& key, std::string_view value) {
+  return Buffer(key, value, /*is_delete=*/false);
+}
+
+Status OccTxn::Delete(const std::string& key) {
+  return Buffer(key, std::string_view(), /*is_delete=*/true);
+}
+
+Status OccTxn::Scan(const std::string& start_key, size_t limit,
+                    std::vector<TxScanEntry>* out) {
+  if (finished_) return Status::InvalidArgument("transaction already finished");
+  // Committed scan, like the other substrates: buffered writes are not
+  // merged and scan rows do not join the read set (no phantom protection).
+  engine_->CollectRange(start_key, limit, out);
+  return Status::OK();
+}
+
+Status OccTxn::Abort() {
+  if (finished_) return Status::InvalidArgument("transaction already finished");
+  state_->aborts.fetch_add(1, std::memory_order_relaxed);
+  Finish();
+  return Status::OK();
+}
+
+Status OccTxn::Commit() {
+  if (finished_) return Status::InvalidArgument("transaction already finished");
+  const bool validate = engine_->options_.read_validation;
+
+  // Silo commit phase 1: materialise the (deduplicated) write set in global
+  // key order and spin-lock each record.  Identical acquisition order on
+  // every committer makes the locking deadlock-free.
+  struct WriteOp {
+    const std::string* key;
+    BufferedWrite* write;
+    OccEngine::Record* rec;
+    uint64_t unlocked_tid;
+  };
+  std::vector<WriteOp> ops;
+  ops.reserve(writes_.size());
+  for (auto& [key, write] : writes_) {
+    ops.push_back({&key, &write, nullptr, 0});
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const WriteOp& a, const WriteOp& b) { return *a.key < *b.key; });
+  for (WriteOp& op : ops) {
+    op.rec = engine_->FindOrCreateRecord(*op.key);
+    uint64_t cur = op.rec->tid.load(std::memory_order_relaxed);
+    for (int spins = 0;; ++spins) {
+      if ((cur & OccEngine::kLockBit) == 0 &&
+          op.rec->tid.compare_exchange_weak(cur, cur | OccEngine::kLockBit,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed)) {
+        op.unlocked_tid = cur;
+        break;
+      }
+      SpinPause(spins);
+      cur = op.rec->tid.load(std::memory_order_relaxed);
+    }
+  }
+
+  // Phase 2: validate the read set against current TIDs.  Any record whose
+  // TID moved since we read it — or that another committer holds locked —
+  // has been (or is being) rewritten: abort with Conflict so the runner's
+  // retry loop re-executes the whole transaction.
+  Status verdict = Status::OK();
+  if (validate) {
+    for (const ReadEntry& entry : reads_) {
+      uint64_t cur = entry.record->tid.load(std::memory_order_seq_cst);
+      if ((cur & OccEngine::kLockBit) != 0) {
+        if (writes_.find(entry.record->key) == writes_.end()) {
+          verdict = Status::Conflict("occ: read record locked by another txn");
+          break;
+        }
+        cur &= ~OccEngine::kLockBit;
+      }
+      if (cur != entry.tid) {
+        verdict = Status::Conflict("occ: read record rewritten before commit");
+        break;
+      }
+    }
+    if (verdict.ok()) {
+      for (const std::string& key : absent_reads_) {
+        OccEngine::Record* rec = engine_->FindRecord(key);
+        if (rec == nullptr) continue;
+        OccEngine::Version* v = nullptr;
+        if (writes_.find(key) != writes_.end()) {
+          // We hold this record's lock (we may even have just created it),
+          // so its fields are stable: no consistent-read loop needed.
+          v = rec->version.load(std::memory_order_seq_cst);
+        } else {
+          uint64_t tid = 0;
+          engine_->ReadRecord(rec, &v, &tid);
+        }
+        if (v != nullptr && !v->tombstone) {
+          verdict = Status::Conflict("occ: key created since absent read");
+          break;
+        }
+      }
+    }
+  }
+  if (!verdict.ok()) {
+    for (WriteOp& op : ops) {
+      op.rec->tid.store(op.unlocked_tid, std::memory_order_seq_cst);
+    }
+    state_->validation_fails.fetch_add(1, std::memory_order_relaxed);
+    state_->aborts.fetch_add(1, std::memory_order_relaxed);
+    Finish();
+    return verdict;
+  }
+
+  // Phase 3: install under one fresh commit TID.  The serialization epoch
+  // is read while every write-set lock is held, so epoch boundaries are
+  // consistent with the serial order (Silo's group-commit invariant).
+  if (!ops.empty()) {
+    uint64_t epoch = engine_->epoch_.load(std::memory_order_seq_cst);
+    uint64_t tid = OccEngine::MakeTid(epoch, ++state_->seq, state_->thread_id);
+    for (WriteOp& op : ops) {
+      auto* nv = new OccEngine::Version{std::move(op.write->value),
+                                        op.write->is_delete};
+      OccEngine::Version* old =
+          op.rec->version.exchange(nv, std::memory_order_seq_cst);
+      op.rec->tid.store(tid, std::memory_order_seq_cst);  // clears the lock
+      engine_->Retire(state_, old);
+    }
+  }
+  state_->commits.fetch_add(1, std::memory_order_relaxed);
+  Finish();
+  engine_->FlushRetired(state_, /*force=*/false);
+  return Status::OK();
+}
+
+}  // namespace txn
+}  // namespace ycsbt

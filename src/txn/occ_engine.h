@@ -1,0 +1,269 @@
+#ifndef YCSBT_TXN_OCC_ENGINE_H_
+#define YCSBT_TXN_OCC_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction.h"
+
+namespace ycsbt {
+namespace txn {
+
+/// Tuning knobs of the embedded Silo-style OCC engine (`occ.*` properties).
+struct OccOptions {
+  /// Period of the global-epoch ticker thread in milliseconds.  0 disables
+  /// the ticker entirely (tests drive `AdvanceEpoch()` by hand).
+  uint64_t epoch_ms = 10;
+
+  /// Commit-time read-set validation.  On (the default) the engine is
+  /// serializable: any record read whose TID changed since the read — or
+  /// that another transaction holds locked — aborts the committer with
+  /// `Status::Conflict`.  Off, reads are not validated at all and the
+  /// engine degrades to atomic-write-batch / read-committed semantics
+  /// (admits lost updates and write skew) — the ablation axis the
+  /// write-skew suite exercises.
+  bool read_validation = true;
+
+  /// Per-thread retire lists are swept for reclaimable versions once they
+  /// grow past this many entries (and always at engine teardown).
+  size_t retire_batch = 128;
+
+  /// Hash-index shard count (structure locking only; record access past the
+  /// index lookup is lock-free).  Not exposed as a property.
+  size_t index_shards = 64;
+};
+
+/// Monotonic counters exposed for benches, tests and the runner's
+/// OCC-ABORT / OCC-VALIDATE-FAIL / EPOCH-ADVANCE series.
+struct OccStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;            ///< explicit aborts + failed validations
+  uint64_t validation_fails = 0;  ///< commits rejected by read-set validation
+  uint64_t epoch_advances = 0;    ///< ticker (or manual) epoch increments
+  uint64_t versions_retired = 0;  ///< old versions handed to retire lists
+  uint64_t versions_freed = 0;    ///< retired versions actually reclaimed
+};
+
+/// Embedded single-process OCC engine in the Silo lineage (DESIGN.md §15):
+/// epoch-based group commit, lock-free reads validated at commit, writes
+/// buffered locally and installed under short per-record spinlocks taken in
+/// global key order, old versions reclaimed via epoch-based memory
+/// reclamation.  Unlike `Local2PLStore` this substrate does NOT sit on a
+/// `kv::Store` — per-read locking (even shared) is exactly the cost the
+/// engine exists to remove — so the fault-injection and resilience
+/// decorators do not apply to the `occ+memkv` binding.
+///
+/// Concurrency contract: any number of threads may run transactions and the
+/// committed-read helpers concurrently.  A `Transaction` handle stays on the
+/// thread that called `Begin()` (the YCSB+T client model).
+class OccEngine : public TransactionalKV {
+ public:
+  explicit OccEngine(OccOptions options = {});
+  ~OccEngine() override;
+
+  OccEngine(const OccEngine&) = delete;
+  OccEngine& operator=(const OccEngine&) = delete;
+
+  std::unique_ptr<Transaction> Begin() override;
+  Status LoadPut(const std::string& key, std::string_view value) override;
+  Status ReadCommitted(const std::string& key, std::string* value) override;
+  Status ScanCommitted(const std::string& start_key, size_t limit,
+                       std::vector<TxScanEntry>* out) override;
+
+  OccStats stats() const;
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Manually advances the global epoch (what the ticker thread does every
+  /// `epoch_ms`).  Exposed for tests that pin reclamation timing.
+  void AdvanceEpoch();
+
+  /// Commit TID of `key`'s current version, for TID-shape tests.  False when
+  /// the key has never been written.
+  bool DebugTidOf(const std::string& key, uint64_t* tid) const;
+
+  const OccOptions& options() const { return options_; }
+
+  /// TID word layout: [epoch:24][seq:31][thread:8][lock:1].  Helpers public
+  /// for tests.
+  static constexpr uint64_t kLockBit = 1;
+  static constexpr int kThreadBits = 8;
+  static constexpr int kSeqBits = 31;
+  static uint64_t MakeTid(uint64_t epoch, uint64_t seq, uint64_t thread) {
+    return (epoch << (1 + kThreadBits + kSeqBits)) |
+           ((seq & ((uint64_t{1} << kSeqBits) - 1)) << (1 + kThreadBits)) |
+           ((thread & ((uint64_t{1} << kThreadBits) - 1)) << 1);
+  }
+  static uint64_t TidEpoch(uint64_t tid) {
+    return tid >> (1 + kThreadBits + kSeqBits);
+  }
+  static uint64_t TidSeq(uint64_t tid) {
+    return (tid >> (1 + kThreadBits)) & ((uint64_t{1} << kSeqBits) - 1);
+  }
+  static uint64_t TidThread(uint64_t tid) {
+    return (tid >> 1) & ((uint64_t{1} << kThreadBits) - 1);
+  }
+
+ private:
+  friend class OccTxn;
+
+  /// An immutable committed version.  Published with a release store of the
+  /// record's version pointer; never mutated afterwards, so concurrent
+  /// readers copy `value` without synchronisation beyond the acquire load.
+  struct Version {
+    std::string value;
+    bool tombstone = false;
+  };
+
+  /// One key's slot.  Records are created on first write and never removed
+  /// from the index (deletes install a tombstone version); only versions
+  /// turn over, which confines reclamation to the epoch machinery.
+  struct Record {
+    std::string key;
+    /// TID word of the current version; bit 0 is the writer lock.
+    std::atomic<uint64_t> tid{0};
+    std::atomic<Version*> version{nullptr};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;  ///< index structure only, never held for reads
+    std::unordered_map<std::string_view, Record*> map;
+    std::vector<std::unique_ptr<Record>> records;
+  };
+
+  struct Retired {
+    uint64_t epoch;  ///< global epoch observed AFTER the version was unlinked
+    Version* version;
+  };
+
+  /// Per-worker registration: epoch pin, TID sequence, retire list, local
+  /// stat counters.  Single-writer (the owning thread); `stats()` and the
+  /// reclaimer read only the atomics.
+  struct alignas(64) ThreadState {
+    static constexpr uint64_t kIdle = ~uint64_t{0};
+    std::atomic<uint64_t> active_epoch{kIdle};
+    /// Nesting depth of Pin (owner thread only): a committed-read helper
+    /// called while a transaction is open must not clear the txn's pin.
+    uint32_t pin_depth = 0;
+    uint64_t seq = 0;
+    uint64_t thread_id = 0;
+    std::vector<Retired> retired;
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> aborts{0};
+    std::atomic<uint64_t> validation_fails{0};
+    std::atomic<uint64_t> versions_retired{0};
+    std::atomic<uint64_t> versions_freed{0};
+  };
+
+  Shard& ShardFor(std::string_view key);
+  const Shard& ShardFor(std::string_view key) const;
+  Record* FindRecord(std::string_view key) const;
+  Record* FindOrCreateRecord(std::string_view key);
+
+  /// Calling thread's registration with this engine (lazily created).
+  ThreadState* MyState();
+
+  /// Pins the calling thread into the current epoch; reads/writes of record
+  /// versions are only legal while pinned.  Unpin as soon as the borrowed
+  /// version pointers are dead.
+  void Pin(ThreadState* st);
+  void Unpin(ThreadState* st);
+
+  /// Consistent lock-free read of one record: returns the version pointer
+  /// current at some instant between the two TID loads plus that TID.  The
+  /// caller must be pinned (the pointer stays valid until Unpin).  Never
+  /// returns a locked TID — spins past in-flight installs.
+  void ReadRecord(const Record* rec, Version** version, uint64_t* tid) const;
+
+  /// Ordered committed scan from `start_key`, up to `limit` live rows.  The
+  /// caller must be pinned.
+  void CollectRange(const std::string& start_key, size_t limit,
+                    std::vector<TxScanEntry>* out) const;
+
+  /// Hands an unlinked version to the thread's retire list, stamped with the
+  /// global epoch observed *after* the unlink (so every reader that could
+  /// still hold it pinned an epoch <= the stamp).
+  void Retire(ThreadState* st, Version* version);
+
+  /// Frees retired versions no live reader can hold.  `force` sweeps
+  /// regardless of `retire_batch` (teardown path).
+  void FlushRetired(ThreadState* st, bool force);
+
+  /// Oldest epoch any thread is currently pinned in (global epoch when all
+  /// are idle).  A version retired at epoch e is reclaimable once this
+  /// exceeds e.
+  uint64_t SafeReclaimEpoch() const;
+
+  void TickerLoop();
+
+  OccOptions options_;
+  const uint64_t engine_id_;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> epoch_advances_{0};
+
+  mutable std::mutex threads_mu_;
+  std::vector<std::unique_ptr<ThreadState>> thread_states_;
+
+  std::atomic<bool> stop_ticker_{false};
+  std::thread ticker_;
+};
+
+/// One OCC transaction: lock-free reads recorded as `(record, tid)` pairs,
+/// writes buffered until the Silo-style commit.  Created by
+/// `OccEngine::Begin()`; used by one thread.
+class OccTxn : public Transaction {
+ public:
+  OccTxn(OccEngine* engine, OccEngine::ThreadState* state);
+  ~OccTxn() override;
+
+  uint64_t start_ts() const override { return start_epoch_; }
+  Status Read(const std::string& key, std::string* value) override;
+  Status Write(const std::string& key, std::string_view value) override;
+  Status Delete(const std::string& key) override;
+  Status Scan(const std::string& start_key, size_t limit,
+              std::vector<TxScanEntry>* out) override;
+  Status Commit() override;
+  Status Abort() override;
+
+ private:
+  struct ReadEntry {
+    const OccEngine::Record* record;
+    uint64_t tid;
+  };
+  struct BufferedWrite {
+    std::string value;
+    bool is_delete = false;
+  };
+
+  Status Buffer(const std::string& key, std::string_view value, bool is_delete);
+  void Finish();  ///< unpin + mark finished (idempotent)
+
+  OccEngine* engine_;
+  OccEngine::ThreadState* state_;
+  uint64_t start_epoch_;
+  bool finished_ = false;
+  bool aborted_counted_ = false;
+
+  std::vector<ReadEntry> reads_;
+  /// Keys read as absent (no record in the index yet): validated at commit
+  /// by re-lookup, since there is no record TID to pin them with.
+  std::vector<std::string> absent_reads_;
+  std::unordered_map<std::string, BufferedWrite> writes_;
+};
+
+}  // namespace txn
+}  // namespace ycsbt
+
+#endif  // YCSBT_TXN_OCC_ENGINE_H_
