@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <utility>
 
@@ -113,6 +115,19 @@ OccEngine::ThreadState* OccEngine::MyState() {
     if (id == engine_id_) return st;
   }
   std::lock_guard<std::mutex> lock(threads_mu_);
+  if (thread_states_.size() >= (uint64_t{1} << kThreadBits)) {
+    // The TID thread field is kThreadBits wide; a 257th registration would
+    // alias an existing id and could mint duplicate TIDs (same epoch, same
+    // per-thread seq), breaking the never-repeats invariant that both
+    // ReadRecord and commit-time read validation rely on.  Fail hard
+    // rather than silently corrupt validation.
+    std::fprintf(stderr,
+                 "occ: more than %llu threads registered with one engine; "
+                 "TID thread field (%d bits) would alias\n",
+                 static_cast<unsigned long long>(uint64_t{1} << kThreadBits),
+                 kThreadBits);
+    std::abort();
+  }
   auto owned = std::make_unique<ThreadState>();
   owned->thread_id = thread_states_.size();
   ThreadState* st = owned.get();
@@ -466,8 +481,26 @@ Status OccTxn::Commit() {
           // so its fields are stable: no consistent-read loop needed.
           v = rec->version.load(std::memory_order_seq_cst);
         } else {
-          uint64_t tid = 0;
-          engine_->ReadRecord(rec, &v, &tid);
+          // We hold our own write-set locks here, so we must not wait on
+          // another committer (ReadRecord spins on the lock bit; two
+          // committers waiting on each other's locked records would
+          // deadlock, and this path is outside the ordered-acquisition
+          // argument).  One-shot tid/version/tid snapshot instead: a
+          // locked or unstable record is being rewritten right now, which
+          // is a conflict for an absent read anyway.
+          uint64_t t1 = rec->tid.load(std::memory_order_seq_cst);
+          if ((t1 & OccEngine::kLockBit) != 0) {
+            verdict =
+                Status::Conflict("occ: absent-read record locked by another txn");
+            break;
+          }
+          v = rec->version.load(std::memory_order_seq_cst);
+          uint64_t t2 = rec->tid.load(std::memory_order_seq_cst);
+          if (t1 != t2) {
+            verdict = Status::Conflict(
+                "occ: absent-read record rewritten during validation");
+            break;
+          }
         }
         if (v != nullptr && !v->tombstone) {
           verdict = Status::Conflict("occ: key created since absent read");

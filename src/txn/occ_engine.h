@@ -254,7 +254,6 @@ class OccTxn : public Transaction {
   OccEngine::ThreadState* state_;
   uint64_t start_epoch_;
   bool finished_ = false;
-  bool aborted_counted_ = false;
 
   std::vector<ReadEntry> reads_;
   /// Keys read as absent (no record in the index yet): validated at commit

@@ -363,6 +363,55 @@ TEST(OccEngineStressTest, ValidatedReadersSeeConsistentPairs) {
   EXPECT_EQ(std::stoi(a) + std::stoi(b), kTotal);
 }
 
+// Regression: commit-time absent-read validation must never wait on another
+// committer's write-set lock while it holds its own (the old spinning read
+// there deadlocked: T1 holds its lock on A and spins on B, T2 holds B and
+// spins on A — outside the ordered-acquisition argument).  Each round a
+// thread pair starts together on fresh cross keys, so both committers
+// routinely hold a just-created record the other probes as an absent read;
+// a locked/unstable probe must surface as Conflict, never a hang.
+TEST(OccEngineStressTest, AbsentReadValidationNeverDeadlocks) {
+  OccOptions options;
+  options.epoch_ms = 1;
+  OccEngine engine(options);
+  constexpr int kPairs = 4;
+  constexpr int kRounds = 2000;
+
+  std::atomic<bool> failed{false};
+  std::vector<std::unique_ptr<std::atomic<int>>> gates;
+  for (int p = 0; p < kPairs; ++p) {
+    gates.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPairs; ++p) {
+    for (int side = 0; side < 2; ++side) {
+      threads.emplace_back([&, p, side] {
+        std::atomic<int>& gate = *gates[p];
+        for (int r = 0; r < kRounds; ++r) {
+          gate.fetch_add(1);
+          while (gate.load() < 2 * (r + 1)) std::this_thread::yield();
+          std::string prefix =
+              "p" + std::to_string(p) + "/" + std::to_string(r) + "/";
+          auto txn = engine.Begin();
+          std::string value;
+          Status read = txn->Read(prefix + std::to_string(1 - side), &value);
+          if (!read.ok() && !read.IsNotFound()) failed = true;
+          if (!txn->Write(prefix + std::to_string(side), "v").ok()) {
+            failed = true;
+          }
+          Status commit = txn->Commit();
+          if (!commit.ok() && !commit.IsConflict()) failed = true;
+        }
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  OccStats stats = engine.stats();
+  EXPECT_EQ(stats.commits + stats.aborts,
+            static_cast<uint64_t>(kPairs * 2 * kRounds));
+}
+
 // End-to-end acceptance on the real benchmark pipeline: the Closed Economy
 // Workload over occ+memkv with retries must validate with anomaly score 0 —
 // conflicted transactions abort cleanly and ride the runner's retry loop
